@@ -1,0 +1,101 @@
+// Component ablations for the design choices DESIGN.md calls out (beyond the
+// paper's Fig. 7/10 ablations):
+//   1. Learned GBDT cost model vs a random cost model inside evolution.
+//   2. Node-based crossover on/off.
+//   3. Constant-tensor layout rewrite (§4.2) on/off.
+//   4. Epsilon-greedy exploration on/off in the task scheduler.
+#include "bench/bench_util.h"
+#include "src/costmodel/metrics.h"
+
+namespace ansor {
+namespace {
+
+void AblateCostModel() {
+  bench::PrintHeader(
+      "Ablation 1: learned GBDT vs random scores guiding evolution\n"
+      "(final best GFLOPS on conv2d r28c128, same trial budget)");
+  SearchTask task = MakeSearchTask("conv", MakeConv2d(4, 128, 28, 28, 128, 3, 3, 1, 1));
+  int trials = bench::ScaledTrials(64);
+
+  Measurer m1(MachineModel::IntelCpu20Core());
+  GbdtCostModel learned;
+  SearchOptions options = bench::FastSearchOptions();
+  TuneResult with_model = TuneTask(task, &m1, &learned, trials, 16, options);
+
+  Measurer m2(MachineModel::IntelCpu20Core());
+  RandomCostModel random(3);
+  TuneResult with_random = TuneTask(task, &m2, &random, trials, 16, options);
+
+  std::printf("%-28s %10.1f GFLOPS\n", "GBDT cost model:", with_model.best_throughput / 1e9);
+  std::printf("%-28s %10.1f GFLOPS\n", "random cost model:",
+              with_random.best_throughput / 1e9);
+}
+
+void AblateCrossover() {
+  bench::PrintHeader(
+      "Ablation 2: node-based crossover contribution\n"
+      "(final best GFLOPS on the ConvLayer subgraph, same budget)");
+  SearchTask task = MakeSearchTask("convlayer", MakeConvLayer(4, 64, 28, 28, 64, 3, 3, 1, 1));
+  int trials = bench::ScaledTrials(64);
+  for (double crossover_prob : {0.25, 0.0}) {
+    Measurer m(MachineModel::IntelCpu20Core());
+    GbdtCostModel model;
+    SearchOptions options = bench::FastSearchOptions();
+    options.crossover_probability = crossover_prob;
+    TuneResult r = TuneTask(task, &m, &model, trials, 16, options);
+    std::printf("crossover p=%.2f: %10.1f GFLOPS\n", crossover_prob,
+                r.best_throughput / 1e9);
+  }
+}
+
+void AblateLayoutRewrite() {
+  bench::PrintHeader(
+      "Ablation 3: constant-tensor layout rewrite (paper §4.2)\n"
+      "(best GFLOPS on a dense layer, whose weight matrix is accessed with a\n"
+      " large stride along the vectorized output-channel axis)");
+  SearchTask task = MakeSearchTask("dense", MakeDense(64, 512, 512));
+  int trials = bench::ScaledTrials(48);
+  for (bool rewrite : {true, false}) {
+    MeasureOptions mo;
+    mo.sim.rewrite_constant_layouts = rewrite;
+    Measurer m(MachineModel::IntelCpu20Core(), mo);
+    GbdtCostModel model;
+    TuneResult r = TuneTask(task, &m, &model, trials, 16, bench::FastSearchOptions());
+    std::printf("layout rewrite %-3s: %10.1f GFLOPS\n", rewrite ? "on" : "off",
+                r.best_throughput / 1e9);
+  }
+}
+
+void AblateEpsGreedy() {
+  bench::PrintHeader(
+      "Ablation 4: epsilon-greedy task selection in the scheduler\n"
+      "(objective after equal budgets, two-task set)");
+  for (double eps : {0.05, 0.0, 1.0}) {
+    Measurer m(MachineModel::IntelCpu20Core());
+    GbdtCostModel model;
+    std::vector<SearchTask> tasks = {
+        MakeSearchTask("conv", MakeConv2d(4, 64, 28, 28, 64, 3, 3, 1, 1), 1, "conv2d"),
+        MakeSearchTask("mm", MakeMatmul(256, 256, 256), 1, "matmul")};
+    std::vector<NetworkSpec> nets = {{"net", {0, 1}}};
+    TaskSchedulerOptions options;
+    options.eps_greedy = eps;
+    options.measures_per_round = bench::ScaledTrials(10);
+    options.search = bench::FastSearchOptions();
+    TaskScheduler scheduler(tasks, nets, Objective::SumLatency(), &m, &model, options);
+    scheduler.Tune(8);
+    std::printf("eps=%.2f: objective %.4e s  (alloc=[%d,%d])\n", eps,
+                scheduler.ObjectiveValue(), scheduler.allocations()[0],
+                scheduler.allocations()[1]);
+  }
+}
+
+}  // namespace
+}  // namespace ansor
+
+int main() {
+  ansor::AblateCostModel();
+  ansor::AblateCrossover();
+  ansor::AblateLayoutRewrite();
+  ansor::AblateEpsGreedy();
+  return 0;
+}

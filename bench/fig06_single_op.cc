@@ -1,0 +1,106 @@
+// Reproduces Figure 6: "Single operator performance benchmark on a 20-core
+// Intel CPU" — 10 operators x 4 shapes x 2 batch sizes, comparing
+// PyTorch (vendor library), Halide auto-scheduler (beam search),
+// FlexTensor (template search, no fusion), AutoTVM (template search) and
+// Ansor. Per operator we report the geometric mean of per-shape throughput,
+// normalized to the best framework (the paper's y-axis).
+#include <map>
+
+#include "bench/bench_util.h"
+
+namespace ansor {
+namespace {
+
+struct FrameworkScores {
+  // op name -> list of per-shape throughputs.
+  std::map<std::string, std::vector<double>> by_op;
+};
+
+void RunBatch(int64_t batch) {
+  int trials = bench::ScaledTrials(80);
+  auto suite = SingleOpSuite(batch);
+  std::vector<std::string> frameworks = {"PyTorch", "Halide", "FlexTensor", "AutoTVM",
+                                         "Ansor"};
+  std::map<std::string, FrameworkScores> scores;
+
+  for (const OpBenchCase& c : suite) {
+    SearchTask task = MakeSearchTask(c.op + "/" + c.shape, c.dag);
+    MachineModel machine = MachineModel::IntelCpu20Core();
+    {
+      Measurer m(machine);
+      scores["PyTorch"].by_op[c.op].push_back(VendorLibrary(task, &m).best_throughput);
+    }
+    {
+      Measurer m(machine);
+      GbdtCostModel model;
+      BeamSearchOptions options;
+      options.beam_width = 6;
+      scores["Halide"].by_op[c.op].push_back(
+          BeamSearch(task, &m, &model, trials, options).best_throughput);
+    }
+    {
+      Measurer m(machine);
+      TemplateSearchOptions options;
+      options.enable_fusion = false;  // FlexTensor: single-op templates
+      scores["FlexTensor"].by_op[c.op].push_back(
+          TemplateSearch(task, &m, trials, options).best_throughput);
+    }
+    {
+      Measurer m(machine);
+      scores["AutoTVM"].by_op[c.op].push_back(
+          TemplateSearch(task, &m, trials).best_throughput);
+    }
+    {
+      Measurer m(machine);
+      GbdtCostModel model;
+      SearchOptions ansor_options = bench::FastSearchOptions();
+      ansor_options.population = 48;
+      ansor_options.generations = 4;
+      scores["Ansor"].by_op[c.op].push_back(
+          TuneTask(task, &m, &model, trials, 10, ansor_options).best_throughput);
+    }
+  }
+
+  bench::PrintHeader("Figure 6: single operator benchmark, Intel CPU, batch size = " +
+                     std::to_string(batch) + "\n(geomean throughput per op, normalized to "
+                     "the best framework; higher is better)");
+  std::vector<std::string> ops = {"C1D", "C2D", "C3D", "GMM", "GRP",
+                                  "DIL", "DEP", "T2D", "CAP", "NRM"};
+  bench::PrintColumns(ops, 9);
+  std::map<std::string, std::vector<double>> norm_rows;
+  for (const std::string& op : ops) {
+    std::vector<double> geo;
+    for (const std::string& fw : frameworks) {
+      std::vector<double> positive;
+      for (double t : scores[fw].by_op[op]) {
+        positive.push_back(std::max(t, 1.0));
+      }
+      geo.push_back(GeometricMean(positive));
+    }
+    auto norm = bench::NormalizeToBest(geo);
+    for (size_t f = 0; f < frameworks.size(); ++f) {
+      norm_rows[frameworks[f]].push_back(norm[f]);
+    }
+  }
+  int ansor_best = 0;
+  for (size_t o = 0; o < ops.size(); ++o) {
+    if (norm_rows["Ansor"][o] >= 0.999) {
+      ++ansor_best;
+    }
+  }
+  for (const std::string& fw : frameworks) {
+    bench::PrintRow(fw, norm_rows[fw], 9);
+  }
+  std::printf("\nAnsor is best on %d / %zu operators at batch %lld "
+              "(paper: best on 19 of 20 cases overall).\n",
+              ansor_best, ops.size(), static_cast<long long>(batch));
+}
+
+}  // namespace
+}  // namespace ansor
+
+int main() {
+  ansor::RunBatch(1);
+  ansor::RunBatch(16);
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Reproduces Figure 8: "Subgraph performance benchmark" — the ConvLayer
+// (conv2d + batch norm + ReLU) and TBG (transpose x2 + batch matmul)
+// subgraphs on the Intel CPU ("@C") and the NVIDIA GPU ("@G"), for batch
+// sizes 1 and 16. Halide is omitted on GPU (paper: experimental support).
+#include <map>
+
+#include "bench/bench_util.h"
+
+namespace ansor {
+namespace {
+
+void RunBatch(int64_t batch) {
+  int trials = bench::ScaledTrials(48);
+  auto suite = SubgraphSuite(batch);
+
+  struct Cell {
+    std::vector<double> throughputs;  // per shape
+  };
+  // key: framework -> column (subgraph@target) -> per-shape throughputs.
+  std::map<std::string, std::map<std::string, Cell>> table;
+  std::vector<std::string> columns = {"ConvLayer@C", "ConvLayer@G", "TBG@C", "TBG@G"};
+
+  for (const OpBenchCase& c : suite) {
+    for (TargetKind target : {TargetKind::kIntelCpu, TargetKind::kNvidiaGpu}) {
+      std::string column =
+          c.op + (target == TargetKind::kIntelCpu ? std::string("@C") : std::string("@G"));
+      MachineModel machine = MachineFor(target);
+      SearchTask task = MakeSearchTask(column + "/" + c.shape, c.dag);
+      SearchOptions search = bench::FastSearchOptions();
+      ConfigureForTarget(target, &search);
+      TemplateSearchOptions tmpl;
+      tmpl.gpu = target == TargetKind::kNvidiaGpu;
+      SamplerOptions gpu_sampler;
+      gpu_sampler.gpu = target == TargetKind::kNvidiaGpu;
+
+      {
+        Measurer m(machine);
+        table["PyTorch"][column].throughputs.push_back(
+            VendorLibrary(task, &m).best_throughput);
+      }
+      if (target == TargetKind::kIntelCpu) {
+        Measurer m(machine);
+        GbdtCostModel model;
+        BeamSearchOptions options;
+        options.sampler = gpu_sampler;
+        table["Halide"][column].throughputs.push_back(
+            BeamSearch(task, &m, &model, trials, options).best_throughput);
+      }
+      {
+        // FlexTensor: no consumer fusion (the paper's ConvLayer@G weakness).
+        Measurer m(machine);
+        TemplateSearchOptions options = tmpl;
+        options.enable_fusion = false;
+        table["FlexTensor"][column].throughputs.push_back(
+            TemplateSearch(task, &m, trials, options).best_throughput);
+      }
+      {
+        Measurer m(machine);
+        table["AutoTVM"][column].throughputs.push_back(
+            TemplateSearch(task, &m, trials, tmpl).best_throughput);
+      }
+      {
+        Measurer m(machine);
+        GbdtCostModel model;
+        table["Ansor"][column].throughputs.push_back(
+            TuneTask(task, &m, &model, trials, 12, search).best_throughput);
+      }
+    }
+  }
+
+  bench::PrintHeader("Figure 8: subgraph benchmark, batch size = " + std::to_string(batch) +
+                     "\n(geomean throughput, normalized to the best framework per column;"
+                     " @C = Intel CPU, @G = NVIDIA GPU)");
+  std::vector<std::string> frameworks = {"PyTorch", "Halide", "FlexTensor", "AutoTVM",
+                                         "Ansor"};
+  bench::PrintColumns(columns, 13);
+  std::map<std::string, std::vector<double>> geo;
+  for (const std::string& column : columns) {
+    std::vector<double> values;
+    for (const std::string& fw : frameworks) {
+      auto it = table[fw].find(column);
+      if (it == table[fw].end() || it->second.throughputs.empty()) {
+        values.push_back(0.0);
+        continue;
+      }
+      std::vector<double> positive;
+      for (double t : it->second.throughputs) {
+        positive.push_back(std::max(t, 1.0));
+      }
+      values.push_back(GeometricMean(positive));
+    }
+    auto norm = bench::NormalizeToBest(values);
+    for (size_t f = 0; f < frameworks.size(); ++f) {
+      geo[frameworks[f]].push_back(norm[f]);
+    }
+  }
+  for (const std::string& fw : frameworks) {
+    bench::PrintRow(fw, geo[fw], 13);
+  }
+  std::printf("\n(Halide@G is blank: GPU support experimental, as in the paper.)\n");
+}
+
+}  // namespace
+}  // namespace ansor
+
+int main() {
+  ansor::RunBatch(1);
+  ansor::RunBatch(16);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Reproduces Figure 9: "Network inference performance benchmark on three
+// hardware platforms" — ResNet-50, MobileNet-V2, 3D-ResNet-18, DCGAN and
+// BERT on the Intel CPU (batch 1/16), the NVIDIA GPU (batch 1/16) and the
+// ARM CPU (batch 1). Frameworks: the vendor library (PyTorch / TensorFlow /
+// TensorRT / TF-Lite bars), AutoTVM (template search per task) and Ansor
+// (task scheduler + full search). Values are network throughput normalized
+// to the best framework.
+#include <map>
+
+#include "bench/bench_util.h"
+
+namespace ansor {
+namespace {
+
+double NetworkLatencyWith(
+    const NetworkTasks& net,
+    const std::function<double(const SearchTask&)>& task_latency) {
+  double total = 0.0;
+  for (const SearchTask& task : net.tasks) {
+    double seconds = task_latency(task);
+    if (!std::isfinite(seconds)) {
+      seconds = 1.0;
+    }
+    total += task.weight * seconds;
+  }
+  return total;
+}
+
+void RunPlatform(TargetKind target, const std::string& platform, int64_t batch) {
+  MachineModel machine = MachineFor(target);
+  auto networks = AllNetworks(batch);
+  int rounds_per_task = 3;
+  int trials = bench::ScaledTrials(16);
+
+  bench::PrintHeader("Figure 9 (" + platform + "), batch size = " + std::to_string(batch) +
+                     "\n(network throughput normalized to the best framework)");
+  std::vector<std::string> names;
+  for (const auto& net : networks) {
+    names.push_back(net.name);
+  }
+  bench::PrintColumns(names, 14);
+
+  std::vector<double> vendor_lat;
+  std::vector<double> autotvm_lat;
+  std::vector<double> ansor_lat;
+  for (const NetworkTasks& net : networks) {
+    {
+      Measurer m(machine);
+      vendor_lat.push_back(NetworkLatencyWith(net, [&](const SearchTask& task) {
+        return VendorLibrary(task, &m).best_seconds;
+      }));
+    }
+    {
+      Measurer m(machine);
+      TemplateSearchOptions tmpl;
+      tmpl.gpu = target == TargetKind::kNvidiaGpu;
+      autotvm_lat.push_back(NetworkLatencyWith(net, [&](const SearchTask& task) {
+        return TemplateSearch(task, &m, trials, tmpl).best_seconds;
+      }));
+    }
+    {
+      AnsorOptions options;
+      options.target = target;
+      options.measures_per_round = trials;
+      options.search = bench::FastSearchOptions();
+      auto results = TuneNetworks({net}, rounds_per_task * static_cast<int>(net.tasks.size()),
+                                  Objective::SumLatency(), options);
+      ansor_lat.push_back(results[0].latency_seconds);
+    }
+  }
+
+  auto to_rows = [&](size_t n) {
+    std::vector<std::vector<double>> rows(3);
+    for (size_t j = 0; j < n; ++j) {
+      std::vector<double> thr = {1.0 / vendor_lat[j], 1.0 / autotvm_lat[j],
+                                 1.0 / ansor_lat[j]};
+      auto norm = bench::NormalizeToBest(thr);
+      for (int f = 0; f < 3; ++f) {
+        rows[static_cast<size_t>(f)].push_back(norm[static_cast<size_t>(f)]);
+      }
+    }
+    return rows;
+  };
+  auto rows = to_rows(networks.size());
+  const char* vendor_name = target == TargetKind::kNvidiaGpu
+                                ? "TensorRT/vendor"
+                                : (target == TargetKind::kArmCpu ? "TF-Lite/vendor"
+                                                                 : "PyTorch/vendor");
+  bench::PrintRow(vendor_name, rows[0], 14);
+  bench::PrintRow("AutoTVM", rows[1], 14);
+  bench::PrintRow("Ansor (ours)", rows[2], 14);
+
+  double best_speedup = 0.0;
+  for (size_t j = 0; j < networks.size(); ++j) {
+    best_speedup = std::max(best_speedup,
+                            std::min(vendor_lat[j], autotvm_lat[j]) / ansor_lat[j]);
+  }
+  std::printf("\nMax Ansor speedup over the best alternative on %s: %.2fx\n",
+              platform.c_str(), best_speedup);
+}
+
+}  // namespace
+}  // namespace ansor
+
+int main() {
+  ansor::RunPlatform(ansor::TargetKind::kIntelCpu, "Intel CPU", 1);
+  ansor::RunPlatform(ansor::TargetKind::kIntelCpu, "Intel CPU", 16);
+  ansor::RunPlatform(ansor::TargetKind::kNvidiaGpu, "NVIDIA GPU", 1);
+  ansor::RunPlatform(ansor::TargetKind::kNvidiaGpu, "NVIDIA GPU", 16);
+  ansor::RunPlatform(ansor::TargetKind::kArmCpu, "ARM CPU", 1);
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Reproduces Figure 10: "Network performance auto-tuning curve" — the task
+// scheduler ablation. Left: MobileNet-V2 alone; right: MobileNet-V2 +
+// ResNet-50 tuned jointly. Variants: full Ansor (gradient task scheduler),
+// No task scheduler (round-robin), No fine-tuning, Limited space, plus the
+// AutoTVM reference. The y-axis is the speedup over AutoTVM's final result;
+// also reports the paper's §7.3 "search time" observation (trials needed by
+// Ansor to match AutoTVM).
+#include <map>
+
+#include "bench/bench_util.h"
+
+namespace ansor {
+namespace {
+
+struct Curve {
+  std::vector<std::pair<int64_t, double>> points;  // (trials, total latency)
+};
+
+double LatencyAt(const Curve& curve, int64_t trials) {
+  double value = curve.points.empty() ? 1.0 : curve.points.front().second;
+  for (const auto& [t, v] : curve.points) {
+    if (t <= trials) {
+      value = v;
+    }
+  }
+  return value;
+}
+
+Curve RunScheduler(const std::vector<NetworkTasks>& nets, int total_rounds,
+                   const TaskSchedulerOptions& options, bool round_robin) {
+  Measurer measurer(MachineModel::IntelCpu20Core());
+  GbdtCostModel model;
+  std::vector<SearchTask> tasks;
+  std::vector<NetworkSpec> specs;
+  for (const NetworkTasks& net : nets) {
+    NetworkSpec spec;
+    spec.name = net.name;
+    for (const SearchTask& task : net.tasks) {
+      spec.task_indices.push_back(static_cast<int>(tasks.size()));
+      tasks.push_back(task);
+    }
+    specs.push_back(std::move(spec));
+  }
+  TaskSchedulerOptions opts = options;
+  if (round_robin) {
+    opts.eps_greedy = 1.0;  // pure random choice == uniform round-robin in expectation
+  }
+  TaskScheduler scheduler(tasks, specs, Objective::SumLatency(), &measurer, &model, opts);
+  scheduler.Tune(total_rounds);
+  Curve curve;
+  for (const auto& [trials, objective] : scheduler.history()) {
+    curve.points.emplace_back(trials, objective);
+  }
+  return curve;
+}
+
+double AutoTvmFinal(const std::vector<NetworkTasks>& nets, int trials_per_task,
+                    int64_t* total_trials) {
+  Measurer measurer(MachineModel::IntelCpu20Core());
+  double total = 0.0;
+  for (const NetworkTasks& net : nets) {
+    for (const SearchTask& task : net.tasks) {
+      TuneResult r = TemplateSearch(task, &measurer, trials_per_task);
+      total += task.weight * (std::isfinite(r.best_seconds) ? r.best_seconds : 1.0);
+    }
+  }
+  *total_trials = measurer.trial_count();
+  return total;
+}
+
+void RunCase(const std::string& title, const std::vector<NetworkTasks>& nets) {
+  int n_tasks = 0;
+  for (const auto& net : nets) {
+    n_tasks += static_cast<int>(net.tasks.size());
+  }
+  int rounds = n_tasks * std::max(2, static_cast<int>(5 * bench::Scale()));
+
+  TaskSchedulerOptions base;
+  base.measures_per_round = bench::ScaledTrials(10);
+  base.search = bench::FastSearchOptions();
+
+  std::map<std::string, Curve> curves;
+  curves["Ansor (ours)"] = RunScheduler(nets, rounds, base, false);
+  curves["No task scheduler"] = RunScheduler(nets, rounds, base, true);
+  {
+    TaskSchedulerOptions options = base;
+    options.search.enable_fine_tuning = false;
+    curves["No fine-tuning"] = RunScheduler(nets, rounds, options, false);
+  }
+  {
+    TaskSchedulerOptions options = base;
+    options.search.sketch.enable_cache_write = false;
+    options.search.sketch.enable_rfactor = false;
+    options.search.sketch.space_levels = 2;
+    options.search.sketch.reduce_levels = 1;
+    options.search.sampler.unroll_options = {16};
+    curves["Limited space"] = RunScheduler(nets, rounds, options, false);
+  }
+  int64_t autotvm_trials = 0;
+  double autotvm_latency =
+      AutoTvmFinal(nets, bench::ScaledTrials(30), &autotvm_trials);
+
+  bench::PrintHeader("Figure 10: " + title +
+                     "\n(speedup over AutoTVM's final result vs measurement trials)");
+  int64_t max_trials = 0;
+  for (const auto& [name, curve] : curves) {
+    if (!curve.points.empty()) {
+      max_trials = std::max(max_trials, curve.points.back().first);
+    }
+  }
+  std::vector<int64_t> checkpoints;
+  for (int i = 1; i <= 6; ++i) {
+    checkpoints.push_back(max_trials * i / 6);
+  }
+  std::printf("%-22s", "trials");
+  for (int64_t t : checkpoints) {
+    std::printf("%10lld", static_cast<long long>(t));
+  }
+  std::printf("\n");
+  for (const auto& name : {"Ansor (ours)", "No task scheduler", "No fine-tuning",
+                           "Limited space"}) {
+    std::vector<double> row;
+    for (int64_t t : checkpoints) {
+      row.push_back(autotvm_latency / LatencyAt(curves[name], t));
+    }
+    bench::PrintRow(name, row, 10);
+  }
+  std::printf("%-22s%10s (reference = 1.0 after %lld trials)\n", "AutoTVM", "1.000",
+              static_cast<long long>(autotvm_trials));
+
+  // §7.3 search time: trials Ansor needs to match AutoTVM's final latency.
+  int64_t match_trials = -1;
+  for (const auto& [t, v] : curves["Ansor (ours)"].points) {
+    if (v <= autotvm_latency) {
+      match_trials = t;
+      break;
+    }
+  }
+  if (match_trials >= 0) {
+    std::printf("\nSearch time: Ansor matches AutoTVM's final result after %lld trials "
+                "(AutoTVM used %lld) -> %.1fx fewer trials.\n",
+                static_cast<long long>(match_trials),
+                static_cast<long long>(autotvm_trials),
+                static_cast<double>(autotvm_trials) / static_cast<double>(match_trials));
+  } else {
+    std::printf("\nSearch time: Ansor did not reach AutoTVM's final latency within this "
+                "(scaled-down) budget; rerun with ANSOR_BENCH_SCALE>=4.\n");
+  }
+}
+
+}  // namespace
+}  // namespace ansor
+
+int main() {
+  ansor::RunCase("MobileNet-V2 (Intel CPU)", {ansor::MobileNetV2Tasks(1)});
+  ansor::RunCase("MobileNet-V2 + ResNet-50 (Intel CPU)",
+                 {ansor::MobileNetV2Tasks(1), ansor::ResNet50Tasks(1)});
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Tunes MobileNet-V2 end-to-end with the gradient-descent task scheduler
+// (paper §6): extracts the network's unique subgraph tasks, allocates tuning
+// rounds by objective gradient, and reports the final per-task allocation and
+// the end-to-end latency — a small-budget version of the Figure 10 setup.
+#include <cstdio>
+
+#include "src/core/ansor.h"
+
+int main() {
+  ansor::NetworkTasks net = ansor::MobileNetV2Tasks(/*batch=*/1);
+  std::printf("MobileNet-V2: %zu unique subgraph tasks\n", net.tasks.size());
+
+  ansor::Measurer measurer(ansor::MachineModel::IntelCpu20Core());
+  ansor::GbdtCostModel model;
+
+  std::vector<ansor::NetworkSpec> specs(1);
+  specs[0].name = net.name;
+  for (size_t i = 0; i < net.tasks.size(); ++i) {
+    specs[0].task_indices.push_back(static_cast<int>(i));
+  }
+  ansor::TaskSchedulerOptions options;
+  options.measures_per_round = 10;
+  options.search.population = 24;
+  options.search.generations = 2;
+  ansor::TaskScheduler scheduler(net.tasks, specs, ansor::Objective::SumLatency(), &measurer,
+                                 &model, options);
+  scheduler.Tune(/*total_rounds=*/3 * static_cast<int>(net.tasks.size()));
+
+  std::printf("\n%-16s %7s %7s %12s %14s\n", "task", "weight", "rounds", "latency(us)",
+              "GFLOPS");
+  for (size_t i = 0; i < net.tasks.size(); ++i) {
+    const auto& tuner = scheduler.tuners()[i];
+    std::printf("%-16s %7d %7d %12.1f %14.1f\n", net.tasks[i].name.c_str(),
+                net.tasks[i].weight, scheduler.allocations()[i],
+                tuner->best_seconds() * 1e6, tuner->best_throughput() / 1e9);
+  }
+  std::printf("\nEnd-to-end MobileNet-V2 latency: %.3f ms (%lld measurement trials)\n",
+              scheduler.NetworkLatency(0) * 1e3,
+              static_cast<long long>(measurer.trial_count()));
+  std::printf("Note how the scheduler spends more rounds on high-impact subgraphs\n"
+              "instead of splitting the budget evenly.\n");
+  return 0;
+}

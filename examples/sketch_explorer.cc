@@ -1,0 +1,79 @@
+// Reproduces the paper's Figure 5: prints the generated sketches and example
+// sampled programs for the two example inputs of §4.1.
+//
+//   Example input 1: C = A x B followed by ReLU  -> fused SSRSRS sketch
+//   Example input 2: relu -> zero-pad -> tall-skinny matmul
+//                     -> cache-write sketch and rfactor sketch
+#include <cstdio>
+
+#include "src/core/ansor.h"
+#include "src/sampler/annotation.h"
+#include "src/sketch/sketch.h"
+
+namespace {
+
+void Explore(const std::string& title, const ansor::ComputeDAG& dag) {
+  std::printf("==== %s ====\n", title.c_str());
+  std::printf("Computation definition:\n%s\n", dag.ToString().c_str());
+
+  auto sketches = ansor::GenerateSketches(&dag);
+  std::printf("%zu sketches generated.\n\n", sketches.size());
+  for (size_t i = 0; i < sketches.size(); ++i) {
+    std::printf("--- Generated sketch %zu (tile sizes pending) ---\n%s\n", i + 1,
+                sketches[i].ToString().c_str());
+  }
+
+  // Sample two complete programs from the first sketch (paper: "Sampled
+  // program 1 / 2").
+  ansor::Rng rng(42);
+  int printed = 0;
+  for (int attempt = 0; attempt < 32 && printed < 2; ++attempt) {
+    ansor::State program = ansor::SampleCompleteProgram(
+        sketches[rng.Index(sketches.size())], &dag, &rng);
+    if (program.failed() || !ansor::Lower(program).ok) {
+      continue;
+    }
+    ++printed;
+    std::printf("--- Sampled program %d (complete: tile sizes + annotations) ---\n%s\n",
+                printed, ansor::Lower(program).ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  // Example input 1 of Figure 5 (scaled shapes).
+  {
+    ansor::Tensor a = ansor::Placeholder("A", {512, 512});
+    ansor::Tensor b = ansor::Placeholder("B", {512, 512});
+    ansor::Tensor c = ansor::Compute("C", {512, 512}, [&](const std::vector<ansor::Expr>& i) {
+      ansor::Expr k = ansor::ReduceAxis(512, "k");
+      return ansor::Sum(a(i[0], k) * b(k, i[1]), {k});
+    });
+    ansor::Tensor d = ansor::Compute("D", {512, 512}, [&](const std::vector<ansor::Expr>& i) {
+      return ansor::Max(c(i[0], i[1]), ansor::FloatImm(0.0));
+    });
+    Explore("Example input 1: matmul + ReLU", ansor::ComputeDAG({a, b, c, d}));
+  }
+
+  // Example input 2 of Figure 5: relu -> pad -> tall-skinny matmul.
+  {
+    ansor::Tensor a = ansor::Placeholder("A", {8, 400});
+    ansor::Tensor dm = ansor::Placeholder("Dm", {512, 4});
+    ansor::Tensor b = ansor::Compute("B", {8, 400}, [&](const std::vector<ansor::Expr>& i) {
+      return ansor::Max(a(i[0], i[1]), ansor::FloatImm(0.0));
+    });
+    ansor::Tensor c = ansor::Compute("C", {8, 512}, [&](const std::vector<ansor::Expr>& i) {
+      return ansor::Select(i[1] < ansor::IntImm(400),
+                           b(i[0], ansor::Min(i[1], ansor::IntImm(399))),
+                           ansor::FloatImm(0.0));
+    });
+    ansor::Tensor e = ansor::Compute("E", {8, 4}, [&](const std::vector<ansor::Expr>& i) {
+      ansor::Expr k = ansor::ReduceAxis(512, "k");
+      return ansor::Sum(c(i[0], k) * dm(k, i[1]), {k});
+    });
+    Explore("Example input 2: relu -> pad -> tall-skinny matmul",
+            ansor::ComputeDAG({a, dm, b, c, e}));
+  }
+  return 0;
+}

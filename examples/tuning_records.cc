@@ -1,0 +1,50 @@
+// Tuning-record workflow: tune once with logging enabled, save the records to
+// a file, then — in a fresh "deployment" context — load the log and apply the
+// best schedule WITHOUT re-running the search (TVM-style record files).
+#include <cstdio>
+
+#include "src/core/ansor.h"
+#include "src/search/record_log.h"
+
+int main() {
+  ansor::ComputeDAG dag = ansor::MakeConv2d(1, 64, 28, 28, 64, 3, 3, 1, 1);
+  ansor::SearchTask task = ansor::MakeSearchTask("conv", dag);
+  const std::string log_path = "/tmp/ansor_records_example.log";
+
+  // --- Tuning phase: search with a record log attached. -----------------
+  {
+    ansor::Measurer measurer(ansor::MachineModel::IntelCpu20Core());
+    ansor::GbdtCostModel model;
+    ansor::RecordLog log;
+    ansor::SearchOptions options;
+    options.population = 24;
+    options.generations = 2;
+    options.record_log = &log;
+    ansor::TuneResult r = ansor::TuneTask(task, &measurer, &model, /*trials=*/48, 16,
+                                          options);
+    log.SaveToFile(log_path);
+    std::printf("tuned: best %.3f ms; %zu records saved to %s\n", r.best_seconds * 1e3,
+                log.records().size(), log_path.c_str());
+  }
+
+  // --- Deployment phase: no search, just replay the best record. --------
+  {
+    ansor::RecordLog log;
+    if (!log.LoadFromFile(log_path)) {
+      std::printf("failed to load records\n");
+      return 1;
+    }
+    ansor::State best = log.ReplayBest(task.dag.get());
+    if (best.failed()) {
+      std::printf("no record for this task\n");
+      return 1;
+    }
+    ansor::Measurer measurer(ansor::MachineModel::IntelCpu20Core());
+    ansor::MeasureResult r = measurer.Measure(best);
+    std::printf("replayed best from log: %.3f ms, %.1f GFLOPS (no search needed)\n",
+                r.seconds * 1e3, r.throughput / 1e9);
+    std::printf("\n%s\n", ansor::Lower(best).ToString().c_str());
+  }
+  std::remove(log_path.c_str());
+  return 0;
+}

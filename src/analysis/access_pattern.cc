@@ -1,0 +1,85 @@
+#include "src/analysis/access_pattern.h"
+
+#include <cmath>
+
+namespace ansor {
+namespace {
+
+// Extracts var terms from an index expression, descending through select /
+// min / max so that padded accesses still yield their affine skeleton.
+// Returns false when something entirely unrecognized appears.
+bool CollectIndexTerms(const Expr& e,
+                       const std::unordered_map<int64_t, int64_t>& var_extent,
+                       std::vector<AxisTerm>* terms) {
+  if (DecomposeIndex(e, var_extent, terms)) {
+    return true;
+  }
+  const ExprNode& n = *e.get();
+  switch (n.kind) {
+    case ExprKind::kSelect:
+      // Use the "true" branch's pattern: padding selects read the interior.
+      return CollectIndexTerms(n.operands[1], var_extent, terms);
+    case ExprKind::kBinary:
+      if (n.binary_op == BinaryOp::kMin || n.binary_op == BinaryOp::kMax) {
+        return CollectIndexTerms(n.operands[0], var_extent, terms);
+      }
+      if (n.binary_op == BinaryOp::kAdd || n.binary_op == BinaryOp::kSub) {
+        return CollectIndexTerms(n.operands[0], var_extent, terms) &&
+               CollectIndexTerms(n.operands[1], var_extent, terms);
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+AccessPattern AnalyzeAccess(const BufferRef& buffer, const std::vector<Expr>& indices,
+                            bool is_write,
+                            const std::unordered_map<int64_t, int64_t>& var_extent) {
+  AccessPattern pattern;
+  pattern.buffer = buffer;
+  pattern.is_write = is_write;
+  pattern.analyzable = true;
+
+  // Row-major strides per dimension.
+  std::vector<int64_t> dim_stride(buffer->shape.size(), 1);
+  for (size_t d = buffer->shape.size(); d > 1; --d) {
+    dim_stride[d - 2] = dim_stride[d - 1] * buffer->shape[d - 1];
+  }
+
+  for (size_t d = 0; d < indices.size(); ++d) {
+    std::vector<AxisTerm> terms;
+    if (!CollectIndexTerms(indices[d], var_extent, &terms)) {
+      pattern.analyzable = false;
+      continue;
+    }
+    for (const AxisTerm& term : terms) {
+      if (term.is_constant || term.var_id < 0) {
+        continue;
+      }
+      VarContribution& c = pattern.vars[term.var_id];
+      c.stride += static_cast<double>(term.multiplier) *
+                  static_cast<double>(dim_stride[d]) / static_cast<double>(term.divisor);
+      c.distinct = std::max(c.distinct, term.component_extent);
+    }
+  }
+  return pattern;
+}
+
+std::vector<AccessPattern> StatementAccesses(
+    const LoopTreeNode& store, const std::unordered_map<int64_t, int64_t>& var_extent) {
+  std::vector<AccessPattern> accesses;
+  std::vector<const ExprNode*> loads;
+  if (store.value.defined()) {
+    CollectLoads(store.value, &loads);
+  }
+  for (const ExprNode* load : loads) {
+    accesses.push_back(AnalyzeAccess(load->buffer, load->operands, false, var_extent));
+  }
+  accesses.push_back(AnalyzeAccess(store.buffer, store.indices, true, var_extent));
+  return accesses;
+}
+
+}  // namespace ansor

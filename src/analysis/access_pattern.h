@@ -1,0 +1,58 @@
+// Buffer access pattern analysis over lowered programs.
+//
+// For every load/store in an innermost statement we recover, per enclosing
+// loop variable, the flattened (row-major) stride and the number of distinct
+// positions the loop contributes. The feature extractor (Appendix B "Buffer
+// Access Feature") and the hardware simulator both build on this.
+#ifndef ANSOR_SRC_ANALYSIS_ACCESS_PATTERN_H_
+#define ANSOR_SRC_ANALYSIS_ACCESS_PATTERN_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/expr/term.h"
+#include "src/lower/loop_tree.h"
+
+namespace ansor {
+
+struct VarContribution {
+  // Flattened element stride contributed by one step of the variable.
+  double stride = 0.0;
+  // Number of distinct values the variable contributes along this access.
+  int64_t distinct = 1;
+};
+
+struct AccessPattern {
+  BufferRef buffer;
+  bool is_write = false;
+  // True when every index decomposed into the supported term grammar; when
+  // false only `buffer` is meaningful and callers should be conservative.
+  bool analyzable = false;
+  // Loop var id -> contribution.
+  std::unordered_map<int64_t, VarContribution> vars;
+
+  double StrideOf(int64_t var_id) const {
+    auto it = vars.find(var_id);
+    return it == vars.end() ? 0.0 : it->second.stride;
+  }
+  int64_t DistinctOf(int64_t var_id) const {
+    auto it = vars.find(var_id);
+    return it == vars.end() ? 1 : it->second.distinct;
+  }
+};
+
+// Analyzes one multi-dimensional access given the loop-variable extents in
+// scope. Non-affine dims (select from padding, min guards) are handled by
+// analyzing the affine skeleton of their sub-terms where possible and marking
+// the pattern unanalyzable otherwise.
+AccessPattern AnalyzeAccess(const BufferRef& buffer, const std::vector<Expr>& indices,
+                            bool is_write,
+                            const std::unordered_map<int64_t, int64_t>& var_extent);
+
+// All accesses performed by a store statement (its loads plus the store).
+std::vector<AccessPattern> StatementAccesses(
+    const LoopTreeNode& store, const std::unordered_map<int64_t, int64_t>& var_extent);
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_ANALYSIS_ACCESS_PATTERN_H_

@@ -1,0 +1,73 @@
+// Baseline program generators used in the paper's evaluation (§7):
+//
+//  * VendorLibrary — stands in for MKL-DNN / CuDNN / Eigen behind the
+//    PyTorch / TensorFlow / TF-Lite bars: one deterministic expert schedule
+//    per operator class, strong but not shape-specialized.
+//  * TemplateSearch — stands in for AutoTVM (and, with fusion disabled and a
+//    fixed unroll policy, FlexTensor): a restricted manually-templated
+//    structure space with parameter search over the same measurer.
+//  * BeamSearch — stands in for the Halide auto-scheduler and the paper's
+//    Fig. 7 "Beam search" ablation: sequential per-node construction with
+//    top-k pruning of *incomplete* programs using the learned cost model.
+#ifndef ANSOR_SRC_BASELINES_BASELINES_H_
+#define ANSOR_SRC_BASELINES_BASELINES_H_
+
+#include "src/search/search_policy.h"
+
+namespace ansor {
+
+// --- Vendor library ----------------------------------------------------------
+
+// Deterministic expert schedule: multi-level tiling with power-of-two tiles,
+// fused+parallel outer loops, vectorized innermost loop, moderate unroll.
+// Returns infinity seconds if no valid schedule applies.
+TuneResult VendorLibrary(const SearchTask& task, Measurer* measurer);
+
+// --- Template-guided search (AutoTVM / FlexTensor) ---------------------------
+
+struct TemplateSearchOptions {
+  // Target the GPU annotation templates (thread binding) instead of the CPU
+  // ones (parallel/vectorize).
+  bool gpu = false;
+  // FlexTensor mode: single-operator templates, no consumer fusion, fixed
+  // unrolling policy (paper §7.1).
+  bool enable_fusion = true;
+  int fixed_unroll = 16;
+  // Tiling depth of the manual template (AutoTVM templates are typically
+  // shallower than Ansor's SSRSRS).
+  int space_levels = 3;
+  int reduce_levels = 2;
+  int measures_per_round = 16;
+  uint64_t seed = 7;
+};
+
+// Random parameter search plus hill-climbing mutations within the template
+// space, spending `num_measure_trials` measurements.
+TuneResult TemplateSearch(const SearchTask& task, Measurer* measurer,
+                          int num_measure_trials,
+                          TemplateSearchOptions options = TemplateSearchOptions());
+
+// --- Beam search (Halide auto-scheduler style) --------------------------------
+
+struct BeamSearchOptions {
+  int beam_width = 8;
+  // Tile-size samples drawn per rule expansion.
+  int expansions_per_state = 4;
+  int measures_per_round = 16;
+  uint64_t seed = 13;
+  SketchOptions sketch;
+  SamplerOptions sampler;
+};
+
+// Sequential construction: nodes are unfolded one at a time; after each node
+// the candidate set is pruned to `beam_width` using cost-model scores of the
+// still-incomplete programs. Completed programs are measured and train the
+// model. This reproduces the failure mode of §2/Fig. 7: the model, trained on
+// complete programs, misjudges incomplete ones and prunes good candidates.
+TuneResult BeamSearch(const SearchTask& task, Measurer* measurer, CostModel* model,
+                      int num_measure_trials,
+                      BeamSearchOptions options = BeamSearchOptions());
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_BASELINES_BASELINES_H_

@@ -1,0 +1,71 @@
+// Ansor public API — the single header downstream users include.
+//
+// Quickstart:
+//
+//   #include "src/core/ansor.h"
+//
+//   ansor::ComputeDAG dag = ansor::MakeMatmul(512, 512, 512);
+//   ansor::AnsorOptions options;                      // Intel CPU by default
+//   ansor::AnsorResult r = ansor::AutoSchedule(dag, /*trials=*/200, options);
+//   std::cout << r.best_program << "\n" << r.gflops << " GFLOPS\n";
+//
+// For whole networks use TuneNetworks, which runs the §6 gradient-descent
+// task scheduler across all subgraph tasks.
+#ifndef ANSOR_SRC_CORE_ANSOR_H_
+#define ANSOR_SRC_CORE_ANSOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/baselines.h"
+#include "src/scheduler/task_scheduler.h"
+#include "src/workloads/operators.h"
+#include "src/workloads/suites.h"
+
+namespace ansor {
+
+enum class TargetKind { kIntelCpu, kArmCpu, kNvidiaGpu };
+
+struct AnsorOptions {
+  TargetKind target = TargetKind::kIntelCpu;
+  int measures_per_round = 16;
+  uint64_t seed = 42;
+  // Measurement noise (0 = deterministic simulation).
+  double measurement_noise = 0.0;
+  SearchOptions search;
+};
+
+struct AnsorResult {
+  bool ok = false;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  std::string best_program;  // pretty-printed lowered loop nest
+  TuneResult raw;
+};
+
+MachineModel MachineFor(TargetKind target);
+// Applies GPU-specific sampler settings when targeting a GPU.
+void ConfigureForTarget(TargetKind target, SearchOptions* options);
+
+// Tunes one computation definition for `num_measure_trials` trials and
+// returns the best program found.
+AnsorResult AutoSchedule(const ComputeDAG& dag, int num_measure_trials,
+                         const AnsorOptions& options = AnsorOptions());
+
+struct NetworkTuneResult {
+  std::string name;
+  double latency_seconds = 0.0;
+  // Per-task best latencies, aligned with the NetworkTasks order.
+  std::vector<double> task_seconds;
+};
+
+// Tunes a set of networks under a shared task scheduler (§6) with the given
+// objective and a total budget of tuning rounds.
+std::vector<NetworkTuneResult> TuneNetworks(const std::vector<NetworkTasks>& networks,
+                                            int total_rounds, const Objective& objective,
+                                            const AnsorOptions& options = AnsorOptions());
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_CORE_ANSOR_H_

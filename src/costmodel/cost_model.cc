@@ -1,0 +1,92 @@
+#include "src/costmodel/cost_model.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+
+namespace ansor {
+
+GbdtCostModel::GbdtCostModel(GbdtParams params) : params_(params), model_(params) {}
+
+void GbdtCostModel::Update(
+    uint64_t task_id, const std::vector<std::vector<std::vector<float>>>& program_features,
+    const std::vector<double>& throughputs) {
+  CHECK_EQ(program_features.size(), throughputs.size());
+  for (size_t i = 0; i < program_features.size(); ++i) {
+    if (program_features[i].empty()) {
+      continue;  // failed lowering: nothing to learn from
+    }
+    samples_.push_back(program_features[i]);
+    labels_raw_.push_back(std::max(0.0, throughputs[i]));
+    task_ids_.push_back(task_id);
+    double& best = task_best_[task_id];
+    best = std::max(best, throughputs[i]);
+  }
+  Retrain();
+}
+
+void GbdtCostModel::Retrain() {
+  GbdtDataset data;
+  for (size_t p = 0; p < samples_.size(); ++p) {
+    double best = task_best_[task_ids_[p]];
+    double label = best > 0.0 ? labels_raw_[p] / best : 0.0;
+    int group = static_cast<int>(data.labels.size());
+    data.labels.push_back(label);
+    // Weighted squared error with the (normalized) throughput as the weight;
+    // failed programs keep a small weight so the model learns to avoid them.
+    data.weights.push_back(std::max(label, 0.1));
+    for (const auto& row : samples_[p]) {
+      data.rows.push_back(row);
+      data.group.push_back(group);
+    }
+  }
+  model_ = Gbdt(params_);
+  model_.Train(data);
+}
+
+std::vector<double> GbdtCostModel::Predict(
+    const std::vector<std::vector<std::vector<float>>>& program_features) {
+  std::vector<double> scores;
+  scores.reserve(program_features.size());
+  for (const auto& rows : program_features) {
+    if (rows.empty()) {
+      scores.push_back(-1e9);  // invalid program
+    } else if (!model_.trained()) {
+      scores.push_back(0.0);
+    } else {
+      scores.push_back(model_.PredictProgram(rows));
+    }
+  }
+  return scores;
+}
+
+std::vector<double> GbdtCostModel::PredictStatements(
+    const std::vector<std::vector<float>>& rows) {
+  std::vector<double> scores;
+  scores.reserve(rows.size());
+  for (const auto& row : rows) {
+    scores.push_back(model_.trained() ? model_.PredictRow(row) : 0.0);
+  }
+  return scores;
+}
+
+std::vector<double> RandomCostModel::Predict(
+    const std::vector<std::vector<std::vector<float>>>& program_features) {
+  std::vector<double> scores;
+  scores.reserve(program_features.size());
+  for (const auto& rows : program_features) {
+    scores.push_back(rows.empty() ? -1e9 : rng_.Uniform());
+  }
+  return scores;
+}
+
+std::vector<double> RandomCostModel::PredictStatements(
+    const std::vector<std::vector<float>>& rows) {
+  std::vector<double> scores;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    scores.push_back(rng_.Uniform());
+  }
+  return scores;
+}
+
+}  // namespace ansor

@@ -1,0 +1,86 @@
+// Learned cost model interface (paper §5.2).
+//
+// "A single model is trained for all tensor programs coming from all DAGs, and
+// we normalize the throughput of all programs come from the same DAG to be in
+// the range of [0, 1]." The model accumulates measurement records across
+// tasks and retrains on every update.
+#ifndef ANSOR_SRC_COSTMODEL_COST_MODEL_H_
+#define ANSOR_SRC_COSTMODEL_COST_MODEL_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/costmodel/gbdt.h"
+#include "src/features/feature_extraction.h"
+#include "src/support/rng.h"
+
+namespace ansor {
+
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  // Adds measured programs for the given task and retrains. `task_id`
+  // identifies the DAG for per-task throughput normalization; `throughputs`
+  // are raw FLOPS (invalid programs should be reported as 0).
+  virtual void Update(uint64_t task_id,
+                      const std::vector<std::vector<std::vector<float>>>& program_features,
+                      const std::vector<double>& throughputs) = 0;
+
+  // Predicted fitness per program (higher is better). Scores are comparable
+  // within one task.
+  virtual std::vector<double> Predict(
+      const std::vector<std::vector<std::vector<float>>>& program_features) = 0;
+
+  // Per-statement scores for one program (used by node-based crossover to
+  // score the rewriting steps of individual DAG nodes).
+  virtual std::vector<double> PredictStatements(
+      const std::vector<std::vector<float>>& rows) = 0;
+};
+
+// The learned GBDT model of §5.2.
+class GbdtCostModel : public CostModel {
+ public:
+  explicit GbdtCostModel(GbdtParams params = GbdtParams());
+
+  void Update(uint64_t task_id,
+              const std::vector<std::vector<std::vector<float>>>& program_features,
+              const std::vector<double>& throughputs) override;
+  std::vector<double> Predict(
+      const std::vector<std::vector<std::vector<float>>>& program_features) override;
+  std::vector<double> PredictStatements(const std::vector<std::vector<float>>& rows) override;
+
+  size_t num_samples() const { return labels_raw_.size(); }
+
+ private:
+  void Retrain();
+
+  GbdtParams params_;
+  Gbdt model_;
+  // Accumulated training data.
+  std::vector<std::vector<std::vector<float>>> samples_;
+  std::vector<double> labels_raw_;  // raw throughput
+  std::vector<uint64_t> task_ids_;
+  std::unordered_map<uint64_t, double> task_best_;
+};
+
+// A model returning uniform random scores: the exploration floor used by
+// tests and the "random" ablations.
+class RandomCostModel : public CostModel {
+ public:
+  explicit RandomCostModel(uint64_t seed = 0) : rng_(seed) {}
+
+  void Update(uint64_t, const std::vector<std::vector<std::vector<float>>>&,
+              const std::vector<double>&) override {}
+  std::vector<double> Predict(
+      const std::vector<std::vector<std::vector<float>>>& program_features) override;
+  std::vector<double> PredictStatements(const std::vector<std::vector<float>>& rows) override;
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_COSTMODEL_COST_MODEL_H_

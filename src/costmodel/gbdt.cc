@@ -1,0 +1,274 @@
+#include "src/costmodel/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/logging.h"
+
+namespace ansor {
+namespace {
+
+// Per-feature histogram bin edges computed from (sub-sampled) quantiles.
+struct BinMap {
+  // edges[f] sorted ascending; bin(x) = upper_bound index.
+  std::vector<std::vector<float>> edges;
+
+  uint8_t BinOf(int feature, float x) const {
+    const std::vector<float>& e = edges[static_cast<size_t>(feature)];
+    return static_cast<uint8_t>(std::upper_bound(e.begin(), e.end(), x) - e.begin());
+  }
+};
+
+BinMap BuildBins(const std::vector<std::vector<float>>& rows, int max_bins) {
+  size_t dim = rows.empty() ? 0 : rows[0].size();
+  BinMap bins;
+  bins.edges.resize(dim);
+  std::vector<float> values;
+  values.reserve(rows.size());
+  for (size_t f = 0; f < dim; ++f) {
+    values.clear();
+    for (const auto& row : rows) {
+      values.push_back(row[f]);
+    }
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    std::vector<float>& edges = bins.edges[f];
+    if (static_cast<int>(values.size()) <= max_bins) {
+      // One bin per distinct value: edges between consecutive values.
+      for (size_t i = 0; i + 1 < values.size(); ++i) {
+        edges.push_back(0.5f * (values[i] + values[i + 1]));
+      }
+    } else {
+      for (int b = 1; b < max_bins; ++b) {
+        size_t idx = values.size() * static_cast<size_t>(b) / static_cast<size_t>(max_bins);
+        float edge = values[idx];
+        if (edges.empty() || edge > edges.back()) {
+          edges.push_back(edge);
+        }
+      }
+    }
+  }
+  return bins;
+}
+
+struct SplitResult {
+  double gain = 0.0;
+  int feature = -1;
+  int bin = -1;  // go left when bin(x) <= bin
+  float threshold = 0.0f;
+};
+
+class TreeBuilder {
+ public:
+  TreeBuilder(const std::vector<std::vector<float>>& rows,
+              const std::vector<std::vector<uint8_t>>& binned, const BinMap& bins,
+              const std::vector<double>& grad, const std::vector<double>& hess,
+              const GbdtParams& params)
+      : rows_(rows), binned_(binned), bins_(bins), grad_(grad), hess_(hess),
+        params_(params) {}
+
+  Tree Build() {
+    std::vector<int> all(rows_.size());
+    for (size_t i = 0; i < all.size(); ++i) {
+      all[i] = static_cast<int>(i);
+    }
+    BuildNode(all, 0);
+    return std::move(tree_);
+  }
+
+ private:
+  int BuildNode(const std::vector<int>& rows, int depth) {
+    double g = 0.0;
+    double h = 0.0;
+    for (int i : rows) {
+      g += grad_[static_cast<size_t>(i)];
+      h += hess_[static_cast<size_t>(i)];
+    }
+    int node_id = static_cast<int>(tree_.nodes.size());
+    tree_.nodes.emplace_back();
+    // Newton step leaf value.
+    tree_.nodes[static_cast<size_t>(node_id)].value = -g / (h + params_.lambda);
+
+    if (depth >= params_.max_depth ||
+        static_cast<int>(rows.size()) < 2 * params_.min_rows_per_leaf) {
+      return node_id;
+    }
+    SplitResult best = FindBestSplit(rows, g, h);
+    if (best.feature < 0) {
+      return node_id;
+    }
+    std::vector<int> left;
+    std::vector<int> right;
+    for (int i : rows) {
+      if (binned_[static_cast<size_t>(i)][static_cast<size_t>(best.feature)] <=
+          best.bin) {
+        left.push_back(i);
+      } else {
+        right.push_back(i);
+      }
+    }
+    if (static_cast<int>(left.size()) < params_.min_rows_per_leaf ||
+        static_cast<int>(right.size()) < params_.min_rows_per_leaf) {
+      return node_id;
+    }
+    int left_id = BuildNode(left, depth + 1);
+    int right_id = BuildNode(right, depth + 1);
+    TreeNode& node = tree_.nodes[static_cast<size_t>(node_id)];
+    node.feature = best.feature;
+    node.threshold = best.threshold;
+    node.left = left_id;
+    node.right = right_id;
+    return node_id;
+  }
+
+  SplitResult FindBestSplit(const std::vector<int>& rows, double g_total, double h_total) {
+    SplitResult best;
+    size_t dim = bins_.edges.size();
+    double parent_score = g_total * g_total / (h_total + params_.lambda);
+    std::vector<double> g_hist;
+    std::vector<double> h_hist;
+    for (size_t f = 0; f < dim; ++f) {
+      size_t n_bins = bins_.edges[f].size() + 1;
+      if (n_bins < 2) {
+        continue;
+      }
+      g_hist.assign(n_bins, 0.0);
+      h_hist.assign(n_bins, 0.0);
+      for (int i : rows) {
+        uint8_t b = binned_[static_cast<size_t>(i)][f];
+        g_hist[b] += grad_[static_cast<size_t>(i)];
+        h_hist[b] += hess_[static_cast<size_t>(i)];
+      }
+      double gl = 0.0;
+      double hl = 0.0;
+      for (size_t b = 0; b + 1 < n_bins; ++b) {
+        gl += g_hist[b];
+        hl += h_hist[b];
+        double gr = g_total - gl;
+        double hr = h_total - hl;
+        if (hl <= 0.0 || hr <= 0.0) {
+          continue;
+        }
+        double gain = gl * gl / (hl + params_.lambda) + gr * gr / (hr + params_.lambda) -
+                      parent_score;
+        if (gain > best.gain + params_.min_gain) {
+          best.gain = gain;
+          best.feature = static_cast<int>(f);
+          best.bin = static_cast<int>(b);
+          best.threshold = bins_.edges[f][b];
+        }
+      }
+    }
+    return best;
+  }
+
+  const std::vector<std::vector<float>>& rows_;
+  const std::vector<std::vector<uint8_t>>& binned_;
+  const BinMap& bins_;
+  const std::vector<double>& grad_;
+  const std::vector<double>& hess_;
+  const GbdtParams& params_;
+  Tree tree_;
+};
+
+}  // namespace
+
+double Tree::PredictRow(const std::vector<float>& row) const {
+  if (nodes.empty()) {
+    return 0.0;
+  }
+  int cur = 0;
+  for (;;) {
+    const TreeNode& node = nodes[static_cast<size_t>(cur)];
+    if (node.feature < 0) {
+      return node.value;
+    }
+    cur = row[static_cast<size_t>(node.feature)] <= node.threshold ? node.left : node.right;
+  }
+}
+
+void Gbdt::Train(const GbdtDataset& data) {
+  trees_.clear();
+  base_score_ = 0.0;
+  size_t n_rows = data.rows.size();
+  if (n_rows == 0 || data.num_programs() == 0) {
+    return;
+  }
+  CHECK_EQ(data.group.size(), n_rows);
+  CHECK_EQ(data.weights.size(), data.labels.size());
+
+  BinMap bins = BuildBins(data.rows, params_.max_bins);
+  std::vector<std::vector<uint8_t>> binned(n_rows);
+  size_t dim = data.rows[0].size();
+  for (size_t i = 0; i < n_rows; ++i) {
+    binned[i].resize(dim);
+    for (size_t f = 0; f < dim; ++f) {
+      binned[i][f] = bins.BinOf(static_cast<int>(f), data.rows[i][f]);
+    }
+  }
+
+  // Rows per program (for the sum-structured prediction).
+  std::vector<std::vector<int>> program_rows(static_cast<size_t>(data.num_programs()));
+  for (size_t i = 0; i < n_rows; ++i) {
+    program_rows[static_cast<size_t>(data.group[i])].push_back(static_cast<int>(i));
+  }
+
+  // Base score: weighted mean label spread across the average row count.
+  double wy = 0.0;
+  double w = 0.0;
+  for (int p = 0; p < data.num_programs(); ++p) {
+    wy += data.weights[static_cast<size_t>(p)] * data.labels[static_cast<size_t>(p)];
+    w += data.weights[static_cast<size_t>(p)];
+  }
+  double mean_label = w > 0.0 ? wy / w : 0.0;
+  base_score_ = mean_label;
+
+  std::vector<double> program_pred(static_cast<size_t>(data.num_programs()), base_score_);
+  std::vector<double> grad(n_rows);
+  std::vector<double> hess(n_rows);
+  for (int t = 0; t < params_.num_trees; ++t) {
+    for (size_t i = 0; i < n_rows; ++i) {
+      int p = data.group[i];
+      double wp = data.weights[static_cast<size_t>(p)];
+      double residual = program_pred[static_cast<size_t>(p)] -
+                        data.labels[static_cast<size_t>(p)];
+      grad[i] = 2.0 * wp * residual;
+      hess[i] = 2.0 * wp;
+    }
+    Tree tree = TreeBuilder(data.rows, binned, bins, grad, hess, params_).Build();
+    // Update program predictions.
+    bool useful = false;
+    for (int p = 0; p < data.num_programs(); ++p) {
+      double delta = 0.0;
+      for (int i : program_rows[static_cast<size_t>(p)]) {
+        delta += tree.PredictRow(data.rows[static_cast<size_t>(i)]);
+      }
+      if (delta != 0.0) {
+        useful = true;
+      }
+      program_pred[static_cast<size_t>(p)] += params_.learning_rate * delta;
+    }
+    trees_.push_back(std::move(tree));
+    if (!useful) {
+      break;  // converged: the tree is a stump predicting zero
+    }
+  }
+}
+
+double Gbdt::PredictRow(const std::vector<float>& row) const {
+  double score = 0.0;
+  for (const Tree& tree : trees_) {
+    score += params_.learning_rate * tree.PredictRow(row);
+  }
+  return score;
+}
+
+double Gbdt::PredictProgram(const std::vector<std::vector<float>>& rows) const {
+  double score = base_score_;
+  for (const auto& row : rows) {
+    score += PredictRow(row);
+  }
+  return score;
+}
+
+}  // namespace ansor

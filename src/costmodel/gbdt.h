@@ -1,0 +1,75 @@
+// Gradient-boosted regression trees, from scratch.
+//
+// The paper (§5.2) trains a gradient boosting decision tree [XGBoost] as the
+// underlying model f, predicting a score per innermost statement; the program
+// score is the sum over its statements. The loss is weighted squared error
+//   loss(f, P, y) = y * (sum_{s in S(P)} f(s) - y)^2
+// with the throughput y itself as the weight, so well-performing programs
+// matter more. We implement the same objective: per-row gradients derive from
+// the program-level residual, trees use histogram-based greedy splits.
+#ifndef ANSOR_SRC_COSTMODEL_GBDT_H_
+#define ANSOR_SRC_COSTMODEL_GBDT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ansor {
+
+struct GbdtParams {
+  int num_trees = 50;
+  int max_depth = 6;
+  double learning_rate = 0.15;
+  double lambda = 1.0;          // L2 regularization on leaf values
+  int max_bins = 32;
+  int min_rows_per_leaf = 4;
+  double min_gain = 1e-6;
+};
+
+struct TreeNode {
+  int feature = -1;     // -1 for leaves
+  float threshold = 0;  // go left when x[feature] <= threshold
+  int left = -1;
+  int right = -1;
+  double value = 0.0;  // leaf output
+};
+
+struct Tree {
+  std::vector<TreeNode> nodes;
+  double PredictRow(const std::vector<float>& row) const;
+};
+
+// A training set where rows are statements grouped into programs.
+struct GbdtDataset {
+  std::vector<std::vector<float>> rows;  // statement feature vectors
+  std::vector<int> group;                // rows[i] belongs to program group[i]
+  std::vector<double> labels;            // per-program target (normalized throughput)
+  std::vector<double> weights;           // per-program weight
+
+  int num_programs() const { return static_cast<int>(labels.size()); }
+};
+
+class Gbdt {
+ public:
+  explicit Gbdt(GbdtParams params = GbdtParams()) : params_(params) {}
+
+  // Trains from scratch on the dataset (sum-over-group objective).
+  void Train(const GbdtDataset& data);
+
+  bool trained() const { return !trees_.empty(); }
+
+  // Score of a single statement row.
+  double PredictRow(const std::vector<float>& row) const;
+  // Score of a program: sum over its statement rows.
+  double PredictProgram(const std::vector<std::vector<float>>& rows) const;
+
+  const std::vector<Tree>& trees() const { return trees_; }
+
+ private:
+  GbdtParams params_;
+  std::vector<Tree> trees_;
+  double base_score_ = 0.0;
+};
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_COSTMODEL_GBDT_H_

@@ -1,0 +1,57 @@
+#include "src/costmodel/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "src/support/logging.h"
+
+namespace ansor {
+
+double PairwiseComparisonAccuracy(const std::vector<double>& predictions,
+                                  const std::vector<double>& truth) {
+  CHECK_EQ(predictions.size(), truth.size());
+  size_t n = truth.size();
+  double correct = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (truth[i] == truth[j]) {
+        continue;
+      }
+      total += 1.0;
+      bool truth_gt = truth[i] > truth[j];
+      bool pred_gt = predictions[i] > predictions[j];
+      if (predictions[i] == predictions[j]) {
+        correct += 0.5;  // the model cannot distinguish: random tie-break
+      } else if (truth_gt == pred_gt) {
+        correct += 1.0;
+      }
+    }
+  }
+  return total == 0.0 ? 0.5 : correct / total;
+}
+
+double RecallAtK(const std::vector<double>& predictions, const std::vector<double>& truth,
+                 int k) {
+  CHECK_EQ(predictions.size(), truth.size());
+  CHECK_GT(k, 0);
+  size_t n = truth.size();
+  k = std::min<int>(k, static_cast<int>(n));
+  auto top_k = [&](const std::vector<double>& values) {
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) { return values[a] > values[b]; });
+    return std::unordered_set<size_t>(order.begin(), order.begin() + k);
+  };
+  std::unordered_set<size_t> g = top_k(truth);
+  std::unordered_set<size_t> p = top_k(predictions);
+  int overlap = 0;
+  for (size_t idx : p) {
+    overlap += g.count(idx) > 0 ? 1 : 0;
+  }
+  return static_cast<double>(overlap) / static_cast<double>(k);
+}
+
+}  // namespace ansor

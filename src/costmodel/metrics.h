@@ -1,0 +1,22 @@
+// Ranking metrics used in the paper's Figure 3 analysis: pairwise comparison
+// accuracy and recall@k of top-k programs.
+#ifndef ANSOR_SRC_COSTMODEL_METRICS_H_
+#define ANSOR_SRC_COSTMODEL_METRICS_H_
+
+#include <vector>
+
+namespace ansor {
+
+// Fraction of ordered pairs (i, j) with truth[i] != truth[j] whose relative
+// order the predictions reproduce. 0.5 = random guessing.
+double PairwiseComparisonAccuracy(const std::vector<double>& predictions,
+                                  const std::vector<double>& truth);
+
+// recall@k of top-k = |G ∩ P| / k, where G is the ground-truth top-k set and
+// P the predicted top-k set (paper footnote 1).
+double RecallAtK(const std::vector<double>& predictions, const std::vector<double>& truth,
+                 int k);
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_COSTMODEL_METRICS_H_

@@ -1,0 +1,73 @@
+// ComputeDAG: a computation definition as a directed acyclic graph of
+// operations (paper §2, §4.1 first column of Figure 5).
+//
+// The DAG is the unit of optimization: the sketch generator walks its nodes,
+// the task scheduler deduplicates subgraphs by canonical hash, and the naive
+// executor provides the functional ground truth that every scheduled program
+// must reproduce.
+#ifndef ANSOR_SRC_DAG_COMPUTE_DAG_H_
+#define ANSOR_SRC_DAG_COMPUTE_DAG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/expr/operation.h"
+
+namespace ansor {
+
+class ComputeDAG {
+ public:
+  ComputeDAG() = default;
+  // Builds the DAG from the full tensor list (inputs, intermediates and
+  // outputs, in any order). Operations are topologically sorted so producers
+  // precede consumers.
+  explicit ComputeDAG(const std::vector<Tensor>& tensors);
+
+  const std::vector<OperationRef>& ops() const { return ops_; }
+  int num_ops() const { return static_cast<int>(ops_.size()); }
+
+  const OperationRef& op(int index) const { return ops_[static_cast<size_t>(index)]; }
+
+  // Index of the op producing the named buffer; -1 if absent.
+  int OpIndexOf(const std::string& buffer_name) const;
+
+  // Indices of ops that read the output of op `index`.
+  const std::vector<int>& ConsumersOf(int index) const;
+
+  // Indices of placeholder ops / non-consumed compute ops.
+  std::vector<int> InputIndices() const;
+  std::vector<int> OutputIndices() const;
+
+  // Total floating point operations for one full evaluation.
+  double FlopCount() const;
+
+  // Executes the computation naively (full domains, topological order).
+  // `inputs` provides placeholder data; every placeholder must be present and
+  // correctly sized. Returns storage for every buffer in the DAG.
+  std::unordered_map<std::string, std::vector<float>> Execute(
+      const std::unordered_map<std::string, std::vector<float>>& inputs) const;
+
+  // Generates deterministic pseudo-random input data for all placeholders.
+  std::unordered_map<std::string, std::vector<float>> RandomInputs(uint64_t seed = 42) const;
+
+  // Canonical structural hash: identical computation definitions hash equal
+  // regardless of variable identities or buffer names (task deduplication,
+  // paper §6: "A subgraph can also appear multiple times").
+  uint64_t CanonicalHash() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<OperationRef> ops_;
+  std::unordered_map<std::string, int> op_index_;
+  std::vector<std::vector<int>> consumers_;
+};
+
+// Counts floating-point operations performed per evaluation of `e`
+// (reductions multiply by their domain size).
+double ExprFlopCount(const Expr& e);
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_DAG_COMPUTE_DAG_H_

@@ -1,0 +1,422 @@
+#include "src/evolution/evolution.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/support/thread_pool.h"
+#include "src/support/util.h"
+
+namespace ansor {
+namespace {
+
+std::string StepSignature(const State& state) {
+  std::string sig;
+  for (const Step& step : state.steps()) {
+    sig += step.ToString();
+    sig += ";";
+  }
+  return sig;
+}
+
+State FailedState(const ComputeDAG* dag) {
+  State s(dag);
+  s.Split("__invalid__", 0, {1});  // poisons the state
+  return s;
+}
+
+}  // namespace
+
+EvolutionarySearch::EvolutionarySearch(const ComputeDAG* dag, CostModel* model, Rng rng,
+                                       EvolutionOptions options)
+    : dag_(dag), model_(model), rng_(rng), options_(options) {}
+
+State EvolutionarySearch::ReplayWithSplitEdit(
+    const std::vector<Step>& steps,
+    const std::function<void(size_t, int64_t, std::vector<int64_t>*)>& edit) {
+  State state(dag_);
+  for (size_t idx = 0; idx < steps.size(); ++idx) {
+    Step step = steps[idx];
+    if (step.kind == StepKind::kSplit) {
+      int stage_idx = state.StageIndex(step.stage);
+      if (stage_idx < 0 || step.iter < 0 ||
+          step.iter >= static_cast<int>(state.stage(stage_idx).iters.size())) {
+        return FailedState(dag_);
+      }
+      int64_t extent = state.stage(stage_idx).iters[static_cast<size_t>(step.iter)].extent;
+      edit(idx, extent, &step.lengths);
+      if (!state.Split(step.stage, step.iter, step.lengths)) {
+        return state;
+      }
+      continue;
+    }
+    switch (step.kind) {
+      case StepKind::kFollowSplit:
+        if (!state.FollowSplit(step.stage, step.iter, step.src_step, step.n_parts)) {
+          return state;
+        }
+        break;
+      case StepKind::kFuse:
+        if (!state.Fuse(step.stage, step.iter, step.fuse_count)) return state;
+        break;
+      case StepKind::kReorder:
+        if (!state.Reorder(step.stage, step.order)) return state;
+        break;
+      case StepKind::kComputeAt:
+        if (!state.ComputeAt(step.stage, step.target_stage, step.target_iter)) return state;
+        break;
+      case StepKind::kComputeInline:
+        if (!state.ComputeInline(step.stage)) return state;
+        break;
+      case StepKind::kComputeRoot:
+        if (!state.ComputeRoot(step.stage)) return state;
+        break;
+      case StepKind::kCacheWrite:
+        if (!state.CacheWrite(step.stage, nullptr)) return state;
+        break;
+      case StepKind::kRfactor:
+        if (!state.Rfactor(step.stage, step.iter, nullptr)) return state;
+        break;
+      case StepKind::kAnnotation:
+        if (!state.Annotate(step.stage, step.iter, step.annotation)) return state;
+        break;
+      case StepKind::kPragma:
+        if (!state.Pragma(step.stage, step.pragma_value)) return state;
+        break;
+      case StepKind::kSplit:
+        break;
+    }
+  }
+  return state;
+}
+
+State EvolutionarySearch::MutateTileSize(const State& state) {
+  // Pick a random split step with at least two levels, divide one level by a
+  // random factor and multiply another level by it (paper: "keeps the product
+  // of tile sizes equal to the original loop length").
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < state.steps().size(); ++i) {
+    const Step& s = state.steps()[i];
+    if (s.kind == StepKind::kSplit && !s.lengths.empty()) {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) {
+    return FailedState(dag_);
+  }
+  size_t target = candidates[rng_.Index(candidates.size())];
+
+  return ReplayWithSplitEdit(state.steps(), [&](size_t idx, int64_t extent,
+                                                std::vector<int64_t>* lengths) {
+    if (idx != target) {
+      return;
+    }
+    // Levels: 0 = implicit outer, 1..n = lengths.
+    size_t n = lengths->size();
+    int64_t prod = 1;
+    for (int64_t l : *lengths) {
+      prod *= l;
+    }
+    int64_t outer = extent / std::max<int64_t>(prod, 1);
+    // Source level must have a factor > 1 to give away.
+    std::vector<size_t> sources;
+    if (outer > 1) {
+      sources.push_back(0);
+    }
+    for (size_t j = 0; j < n; ++j) {
+      if ((*lengths)[j] > 1) {
+        sources.push_back(j + 1);
+      }
+    }
+    if (sources.empty()) {
+      return;
+    }
+    size_t src = sources[rng_.Index(sources.size())];
+    size_t dst = rng_.Index(n + 1);
+    if (dst == src) {
+      dst = (dst + 1) % (n + 1);
+    }
+    int64_t src_value = src == 0 ? outer : (*lengths)[src - 1];
+    std::vector<int64_t> divisors = Divisors(src_value);
+    // Exclude 1 (no-op).
+    if (divisors.size() <= 1) {
+      return;
+    }
+    int64_t f = divisors[1 + rng_.Index(divisors.size() - 1)];
+    if (src != 0) {
+      (*lengths)[src - 1] /= f;
+    }
+    if (dst != 0) {
+      (*lengths)[dst - 1] *= f;
+    }
+    // src == 0 or dst == 0: the implicit outer absorbs the change.
+  });
+}
+
+State EvolutionarySearch::MutatePragma(const State& state) {
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < state.steps().size(); ++i) {
+    if (state.steps()[i].kind == StepKind::kPragma) {
+      candidates.push_back(i);
+    }
+  }
+  std::vector<Step> steps = state.steps();
+  const auto& unroll_options = options_.sampler.unroll_options;
+  if (candidates.empty() || unroll_options.empty()) {
+    return FailedState(dag_);
+  }
+  size_t target = candidates[rng_.Index(candidates.size())];
+  steps[target].pragma_value =
+      unroll_options[rng_.Index(unroll_options.size())];
+  return State::Replay(dag_, steps);
+}
+
+State EvolutionarySearch::MutateParallelGranularity(const State& state) {
+  // Find a fuse step whose stage later receives a parallel annotation and
+  // change its granularity by one level ("changes the granularity by either
+  // fusing its adjacent loop levels or splitting it").
+  std::vector<Step> steps = state.steps();
+  std::unordered_set<std::string> parallel_stages;
+  for (const Step& s : steps) {
+    if (s.kind == StepKind::kAnnotation && s.annotation == IterAnnotation::kParallel) {
+      parallel_stages.insert(s.stage);
+    }
+  }
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i].kind == StepKind::kFuse && parallel_stages.count(steps[i].stage) > 0) {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) {
+    return FailedState(dag_);
+  }
+  size_t target = candidates[rng_.Index(candidates.size())];
+  int delta = rng_.Bernoulli(0.5) ? 1 : -1;
+  steps[target].fuse_count += delta;
+  if (steps[target].fuse_count < 2) {
+    return FailedState(dag_);
+  }
+  State next = State::Replay(dag_, steps);
+  return next;
+}
+
+State EvolutionarySearch::MutateVectorize(const State& state) {
+  std::vector<Step> steps = state.steps();
+  std::vector<size_t> vec_steps;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i].kind == StepKind::kAnnotation &&
+        steps[i].annotation == IterAnnotation::kVectorize) {
+      vec_steps.push_back(i);
+    }
+  }
+  if (!vec_steps.empty() && rng_.Bernoulli(0.5)) {
+    // Drop one vectorize annotation.
+    steps.erase(steps.begin() + static_cast<long>(vec_steps[rng_.Index(vec_steps.size())]));
+    return State::Replay(dag_, steps);
+  }
+  // Add a vectorize annotation to the innermost iterator of a random stage.
+  std::vector<std::string> stages;
+  for (const Stage& s : state.stages()) {
+    if (s.loc.kind != ComputeLocKind::kInlined && !s.iters.empty() &&
+        s.iters.back().annotation == IterAnnotation::kNone) {
+      stages.push_back(s.name());
+    }
+  }
+  if (stages.empty()) {
+    return FailedState(dag_);
+  }
+  const std::string& stage = stages[rng_.Index(stages.size())];
+  int idx = state.StageIndex(stage);
+  steps.push_back(MakeAnnotationStep(
+      stage, static_cast<int>(state.stage(idx).iters.size()) - 1, IterAnnotation::kVectorize));
+  return State::Replay(dag_, steps);
+}
+
+State EvolutionarySearch::MutateComputeLocation(const State& state) {
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < state.steps().size(); ++i) {
+    if (state.steps()[i].kind == StepKind::kComputeAt) {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) {
+    return FailedState(dag_);
+  }
+  std::vector<Step> steps = state.steps();
+  Step& step = steps[candidates[rng_.Index(candidates.size())]];
+  int target_idx = state.StageIndex(step.target_stage);
+  if (target_idx < 0) {
+    return FailedState(dag_);
+  }
+  int n_iters = static_cast<int>(state.stage(target_idx).iters.size());
+  if (n_iters == 0) {
+    return FailedState(dag_);
+  }
+  step.target_iter = static_cast<int>(rng_.Int(0, n_iters - 1));
+  return State::Replay(dag_, steps);
+}
+
+State EvolutionarySearch::Crossover(const State& a, const State& b) {
+  // Node-based crossover: both parents must share the same sketch skeleton
+  // (same (kind, stage) step sequence); the child adopts, per DAG node, the
+  // step parameters of the parent whose node the cost model scores higher
+  // (with randomized tie-breaking for exploration).
+  const std::vector<Step>& sa = a.steps();
+  const std::vector<Step>& sb = b.steps();
+  if (sa.size() != sb.size()) {
+    return FailedState(dag_);
+  }
+  for (size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i].kind != sb[i].kind || sa[i].stage != sb[i].stage) {
+      return FailedState(dag_);
+    }
+  }
+  // Score each stage of both parents.
+  auto stage_scores = [&](const State& s) {
+    std::unordered_map<std::string, double> scores;
+    LoweredProgram prog = Lower(s);
+    if (!prog.ok) {
+      return scores;
+    }
+    std::vector<std::string> row_stages;
+    auto rows = ExtractFeatures(prog, &row_stages);
+    auto preds = model_->PredictStatements(rows);
+    for (size_t i = 0; i < preds.size(); ++i) {
+      scores[row_stages[i]] += preds[i];
+    }
+    return scores;
+  };
+  auto score_a = stage_scores(a);
+  auto score_b = stage_scores(b);
+
+  std::unordered_map<std::string, bool> take_b;
+  auto choose = [&](const std::string& stage) {
+    auto it = take_b.find(stage);
+    if (it != take_b.end()) {
+      return it->second;
+    }
+    double va = score_a.count(stage) > 0 ? score_a[stage] : 0.0;
+    double vb = score_b.count(stage) > 0 ? score_b[stage] : 0.0;
+    // Prefer the higher-scoring parent, explore with probability 0.2.
+    bool pick_b = vb > va;
+    if (rng_.Bernoulli(0.2)) {
+      pick_b = !pick_b;
+    }
+    take_b[stage] = pick_b;
+    return pick_b;
+  };
+
+  std::vector<Step> child;
+  child.reserve(sa.size());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    child.push_back(choose(sa[i].stage) ? sb[i] : sa[i]);
+  }
+  // Replay verifies dependency consistency; invalid merges are discarded
+  // ("Ansor further verifies the merged programs").
+  return State::Replay(dag_, child);
+}
+
+State EvolutionarySearch::RandomMutation(const State& state) {
+  switch (rng_.Int(0, 4)) {
+    case 0:
+      return MutateTileSize(state);
+    case 1:
+      return MutatePragma(state);
+    case 2:
+      return MutateParallelGranularity(state);
+    case 3:
+      return MutateVectorize(state);
+    default:
+      return MutateComputeLocation(state);
+  }
+}
+
+std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, int num_out) {
+  std::vector<State> population;
+  for (const State& s : init) {
+    if (!s.failed()) {
+      population.push_back(s);
+    }
+  }
+  if (population.empty()) {
+    return {};
+  }
+
+  // Best-so-far heap across all generations, deduplicated.
+  std::vector<std::pair<double, State>> best;
+  std::unordered_set<std::string> best_sigs;
+
+  for (int gen = 0; gen <= options_.generations; ++gen) {
+    // Score the population with the learned model.
+    std::vector<std::vector<std::vector<float>>> features(population.size());
+    ThreadPool::Global().ParallelFor(population.size(), [&](size_t i) {
+      features[i] = ExtractStateFeatures(population[i]);
+    });
+    std::vector<double> scores = model_->Predict(features);
+
+    for (size_t i = 0; i < population.size(); ++i) {
+      if (features[i].empty()) {
+        continue;
+      }
+      std::string sig = StepSignature(population[i]);
+      if (best_sigs.insert(sig).second) {
+        best.emplace_back(scores[i], population[i]);
+      }
+    }
+    std::sort(best.begin(), best.end(),
+              [](const auto& x, const auto& y) { return x.first > y.first; });
+    if (best.size() > static_cast<size_t>(2 * num_out)) {
+      for (size_t i = static_cast<size_t>(2 * num_out); i < best.size(); ++i) {
+        best_sigs.erase(StepSignature(best[i].second));
+      }
+      best.resize(static_cast<size_t>(2 * num_out));
+    }
+    if (gen == options_.generations) {
+      break;
+    }
+
+    // Selection probabilities proportional to (shifted) fitness.
+    double min_score = *std::min_element(scores.begin(), scores.end());
+    std::vector<double> weights(scores.size());
+    for (size_t i = 0; i < scores.size(); ++i) {
+      weights[i] = scores[i] - min_score + 1e-3;
+    }
+
+    std::vector<State> next;
+    next.reserve(static_cast<size_t>(options_.population));
+    int attempts = 0;
+    int max_attempts = options_.population * 8;
+    while (static_cast<int>(next.size()) < options_.population &&
+           attempts < max_attempts) {
+      ++attempts;
+      State child(dag_);
+      if (rng_.Uniform() < options_.crossover_probability && population.size() >= 2) {
+        size_t pa = rng_.WeightedIndex(weights);
+        size_t pb = rng_.WeightedIndex(weights);
+        child = Crossover(population[pa], population[pb]);
+      } else {
+        size_t p = rng_.WeightedIndex(weights);
+        child = RandomMutation(population[p]);
+      }
+      if (!child.failed()) {
+        next.push_back(std::move(child));
+      }
+    }
+    if (next.empty()) {
+      break;
+    }
+    population = std::move(next);
+  }
+
+  std::vector<State> out;
+  for (const auto& [score, state] : best) {
+    if (static_cast<int>(out.size()) >= num_out) {
+      break;
+    }
+    out.push_back(state);
+  }
+  return out;
+}
+
+}  // namespace ansor

@@ -1,0 +1,71 @@
+// Evolutionary search with a learned cost model (paper §5.1).
+//
+// "The evolution starts from the sampled initial generation ... the
+// probability of selecting a program is proportional to its fitness predicted
+// by the learned cost model ... for the selected programs, we randomly apply
+// one of the evolution operations."
+//
+// Operators implemented (all on the rewriting-step "genes", replayed and
+// verified after editing):
+//   * tile size mutation      — moves a factor between tile levels, keeping
+//                               the product equal (always valid);
+//   * parallel granularity    — changes the fuse count feeding a parallel
+//     mutation                  annotation;
+//   * pragma mutation         — changes auto_unroll_max_step;
+//   * vectorize mutation      — toggles the innermost vectorize annotation;
+//   * computation location    — moves a fused producer to another loop level;
+//   * node-based crossover    — per-DAG-node adoption of step parameters from
+//                               the parent whose node scores higher.
+#ifndef ANSOR_SRC_EVOLUTION_EVOLUTION_H_
+#define ANSOR_SRC_EVOLUTION_EVOLUTION_H_
+
+#include <vector>
+
+#include "src/costmodel/cost_model.h"
+#include "src/ir/state.h"
+#include "src/sampler/annotation.h"
+
+namespace ansor {
+
+struct EvolutionOptions {
+  int population = 128;
+  int generations = 4;
+  double crossover_probability = 0.25;  // otherwise mutate
+  SamplerOptions sampler;
+};
+
+class EvolutionarySearch {
+ public:
+  EvolutionarySearch(const ComputeDAG* dag, CostModel* model, Rng rng,
+                     EvolutionOptions options = EvolutionOptions());
+
+  // Runs evolution from the initial population; returns up to `num_out`
+  // distinct best states by predicted fitness.
+  std::vector<State> Evolve(const std::vector<State>& init, int num_out);
+
+  // Individual operators, exposed for tests. All return a failed state on an
+  // invalid edit (callers discard).
+  State MutateTileSize(const State& state);
+  State MutatePragma(const State& state);
+  State MutateParallelGranularity(const State& state);
+  State MutateVectorize(const State& state);
+  State MutateComputeLocation(const State& state);
+  State Crossover(const State& a, const State& b);
+
+ private:
+  State RandomMutation(const State& state);
+  // Replays `steps` with SplitStep lengths rewritten by `edit(step_index,
+  // extent, lengths*)`; other steps replay verbatim.
+  State ReplayWithSplitEdit(
+      const std::vector<Step>& steps,
+      const std::function<void(size_t, int64_t, std::vector<int64_t>*)>& edit);
+
+  const ComputeDAG* dag_;
+  CostModel* model_;
+  Rng rng_;
+  EvolutionOptions options_;
+};
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_EVOLUTION_EVOLUTION_H_

@@ -1,0 +1,134 @@
+#include "src/exec/interpreter.h"
+
+#include <cmath>
+
+#include "src/expr/eval.h"
+
+namespace ansor {
+namespace {
+
+class Interpreter {
+ public:
+  Interpreter(const LoweredProgram& program,
+              const std::unordered_map<std::string, std::vector<float>>& inputs)
+      : program_(program) {
+    for (const auto& [name, buffer] : program.buffers) {
+      auto it = inputs.find(name);
+      if (it != inputs.end()) {
+        storage_[name] = it->second;
+      } else {
+        storage_[name] = std::vector<float>(static_cast<size_t>(buffer->NumElements()), 0.0f);
+      }
+      ctx_.buffers[name] = &storage_[name];
+    }
+  }
+
+  ExecutionResult Run() {
+    ExecutionResult result;
+    for (const LoopTreeNodeRef& root : program_.roots) {
+      Exec(*root);
+    }
+    result.ok = true;
+    result.buffers = std::move(storage_);
+    return result;
+  }
+
+ private:
+  void Exec(const LoopTreeNode& node) {
+    switch (node.kind) {
+      case LoopTreeKind::kLoop: {
+        int64_t var_id = node.var->var_id;
+        for (int64_t i = 0; i < node.extent; ++i) {
+          ctx_.vars[var_id] = i;
+          for (const LoopTreeNodeRef& child : node.children) {
+            Exec(*child);
+          }
+        }
+        ctx_.vars.erase(var_id);
+        return;
+      }
+      case LoopTreeKind::kIf: {
+        if (!Evaluate(node.condition, &ctx_).AsBool()) {
+          return;
+        }
+        for (const LoopTreeNodeRef& child : node.children) {
+          Exec(*child);
+        }
+        return;
+      }
+      case LoopTreeKind::kStore: {
+        std::vector<int64_t> indices;
+        indices.reserve(node.indices.size());
+        for (const Expr& idx : node.indices) {
+          indices.push_back(Evaluate(idx, &ctx_).AsInt());
+        }
+        int64_t flat = FlattenIndex(indices, node.buffer->shape);
+        std::vector<float>& data = storage_[node.buffer->name];
+        float v = static_cast<float>(Evaluate(node.value, &ctx_).AsFloat());
+        if (node.is_accumulate) {
+          switch (node.reduce_kind) {
+            case ReduceKind::kSum: data[static_cast<size_t>(flat)] += v; break;
+            case ReduceKind::kMax:
+              data[static_cast<size_t>(flat)] = std::max(data[static_cast<size_t>(flat)], v);
+              break;
+            case ReduceKind::kMin:
+              data[static_cast<size_t>(flat)] = std::min(data[static_cast<size_t>(flat)], v);
+              break;
+          }
+        } else {
+          data[static_cast<size_t>(flat)] = v;
+        }
+        return;
+      }
+    }
+  }
+
+  const LoweredProgram& program_;
+  std::unordered_map<std::string, std::vector<float>> storage_;
+  EvalContext ctx_;
+};
+
+}  // namespace
+
+ExecutionResult ExecuteProgram(
+    const LoweredProgram& program,
+    const std::unordered_map<std::string, std::vector<float>>& inputs) {
+  if (!program.ok) {
+    ExecutionResult result;
+    result.error = "cannot execute failed lowering: " + program.error;
+    return result;
+  }
+  return Interpreter(program, inputs).Run();
+}
+
+std::string VerifyAgainstNaive(const State& state, double tolerance) {
+  LoweredProgram program = Lower(state);
+  if (!program.ok) {
+    return "lowering failed: " + program.error;
+  }
+  const ComputeDAG* dag = state.dag();
+  auto inputs = dag->RandomInputs();
+  auto expected = dag->Execute(inputs);
+  ExecutionResult actual = ExecuteProgram(program, inputs);
+  if (!actual.ok) {
+    return "execution failed: " + actual.error;
+  }
+  for (const std::string& out : program.output_buffers) {
+    const std::vector<float>& want = expected.at(out);
+    const std::vector<float>& got = actual.buffers.at(out);
+    if (want.size() != got.size()) {
+      return "size mismatch for " + out;
+    }
+    for (size_t i = 0; i < want.size(); ++i) {
+      double diff = std::fabs(static_cast<double>(want[i]) - static_cast<double>(got[i]));
+      double scale = std::max(1.0, std::fabs(static_cast<double>(want[i])));
+      if (diff / scale > tolerance) {
+        return "mismatch in " + out + " at element " + std::to_string(i) + ": expected " +
+               std::to_string(want[i]) + ", got " + std::to_string(got[i]);
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace ansor

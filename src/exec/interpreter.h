@@ -1,0 +1,37 @@
+// Interpreter for lowered programs.
+//
+// Executes the loop tree on real float buffers. Scheduling transforms must be
+// semantics-preserving, so the interpreter's output must match the naive
+// ComputeDAG execution bit-for-bit up to floating-point reassociation; the
+// test suite verifies this for every transform and every sketch.
+#ifndef ANSOR_SRC_EXEC_INTERPRETER_H_
+#define ANSOR_SRC_EXEC_INTERPRETER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/lower/loop_tree.h"
+
+namespace ansor {
+
+struct ExecutionResult {
+  bool ok = false;
+  std::string error;
+  // Storage for every buffer after execution.
+  std::unordered_map<std::string, std::vector<float>> buffers;
+};
+
+// Runs the program with the given placeholder inputs.
+ExecutionResult ExecuteProgram(
+    const LoweredProgram& program,
+    const std::unordered_map<std::string, std::vector<float>>& inputs);
+
+// Convenience: lowers `state`, executes it on deterministic random inputs and
+// compares every DAG output against naive execution. Returns an empty string
+// on success and a diagnostic otherwise.
+std::string VerifyAgainstNaive(const State& state, double tolerance = 1e-3);
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_EXEC_INTERPRETER_H_

@@ -1,0 +1,56 @@
+#include "src/expr/affine.h"
+
+namespace ansor {
+namespace {
+
+bool Analyze(const Expr& e, AffineForm* out, int64_t scale) {
+  const ExprNode& n = *e.get();
+  switch (n.kind) {
+    case ExprKind::kIntImm:
+      out->constant += scale * n.int_value;
+      return true;
+    case ExprKind::kVar:
+      out->coeffs[n.var_id] += scale;
+      return true;
+    case ExprKind::kBinary:
+      switch (n.binary_op) {
+        case BinaryOp::kAdd:
+          return Analyze(n.operands[0], out, scale) && Analyze(n.operands[1], out, scale);
+        case BinaryOp::kSub:
+          return Analyze(n.operands[0], out, scale) && Analyze(n.operands[1], out, -scale);
+        case BinaryOp::kMul: {
+          // One side must be a constant integer.
+          const ExprNode& a = *n.operands[0].get();
+          const ExprNode& b = *n.operands[1].get();
+          if (a.kind == ExprKind::kIntImm) {
+            return Analyze(n.operands[1], out, scale * a.int_value);
+          }
+          if (b.kind == ExprKind::kIntImm) {
+            return Analyze(n.operands[0], out, scale * b.int_value);
+          }
+          return false;
+        }
+        default:
+          return false;
+      }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+AffineForm AnalyzeAffine(const Expr& e) {
+  AffineForm form;
+  if (!e.defined()) {
+    return form;
+  }
+  form.valid = Analyze(e, &form, 1);
+  if (!form.valid) {
+    form.coeffs.clear();
+    form.constant = 0;
+  }
+  return form;
+}
+
+}  // namespace ansor

@@ -1,0 +1,35 @@
+// Affine analysis of index expressions.
+//
+// The feature extractor and the hardware simulator need per-access stride
+// information: given a buffer index expression and a set of loop variables,
+// determine the coefficient of each variable. Expressions involving
+// select/min/max/div/mod (e.g. padding guards) are flagged non-affine and
+// handled conservatively by callers.
+#ifndef ANSOR_SRC_EXPR_AFFINE_H_
+#define ANSOR_SRC_EXPR_AFFINE_H_
+
+#include <unordered_map>
+
+#include "src/expr/expr.h"
+
+namespace ansor {
+
+struct AffineForm {
+  bool valid = false;
+  // var_id -> integer coefficient
+  std::unordered_map<int64_t, int64_t> coeffs;
+  int64_t constant = 0;
+
+  // Coefficient of a variable (0 when absent).
+  int64_t CoeffOf(int64_t var_id) const {
+    auto it = coeffs.find(var_id);
+    return it == coeffs.end() ? 0 : it->second;
+  }
+};
+
+// Decomposes e into sum(coeff_i * var_i) + constant if possible.
+AffineForm AnalyzeAffine(const Expr& e);
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_EXPR_AFFINE_H_

@@ -1,0 +1,191 @@
+#include "src/expr/eval.h"
+
+#include <cmath>
+
+namespace ansor {
+namespace {
+
+Value EvalBinary(BinaryOp op, const Value& a, const Value& b) {
+  if (a.is_int && b.is_int) {
+    int64_t x = a.i;
+    int64_t y = b.i;
+    switch (op) {
+      case BinaryOp::kAdd: return Value::Int(x + y);
+      case BinaryOp::kSub: return Value::Int(x - y);
+      case BinaryOp::kMul: return Value::Int(x * y);
+      case BinaryOp::kDiv: {
+        CHECK_NE(y, 0);
+        // Floor division: index arithmetic must round toward -inf.
+        int64_t q = x / y;
+        if ((x % y != 0) && ((x < 0) != (y < 0))) {
+          --q;
+        }
+        return Value::Int(q);
+      }
+      case BinaryOp::kMod: {
+        CHECK_NE(y, 0);
+        int64_t r = x % y;
+        if (r != 0 && ((r < 0) != (y < 0))) {
+          r += y;
+        }
+        return Value::Int(r);
+      }
+      case BinaryOp::kMin: return Value::Int(std::min(x, y));
+      case BinaryOp::kMax: return Value::Int(std::max(x, y));
+      case BinaryOp::kLt: return Value::Int(x < y);
+      case BinaryOp::kLe: return Value::Int(x <= y);
+      case BinaryOp::kGt: return Value::Int(x > y);
+      case BinaryOp::kGe: return Value::Int(x >= y);
+      case BinaryOp::kEq: return Value::Int(x == y);
+      case BinaryOp::kNe: return Value::Int(x != y);
+      case BinaryOp::kAnd: return Value::Int((x != 0) && (y != 0));
+      case BinaryOp::kOr: return Value::Int((x != 0) || (y != 0));
+    }
+  }
+  double x = a.AsFloat();
+  double y = b.AsFloat();
+  switch (op) {
+    case BinaryOp::kAdd: return Value::Float(x + y);
+    case BinaryOp::kSub: return Value::Float(x - y);
+    case BinaryOp::kMul: return Value::Float(x * y);
+    case BinaryOp::kDiv: return Value::Float(x / y);
+    case BinaryOp::kMod: return Value::Float(std::fmod(x, y));
+    case BinaryOp::kMin: return Value::Float(std::min(x, y));
+    case BinaryOp::kMax: return Value::Float(std::max(x, y));
+    case BinaryOp::kLt: return Value::Int(x < y);
+    case BinaryOp::kLe: return Value::Int(x <= y);
+    case BinaryOp::kGt: return Value::Int(x > y);
+    case BinaryOp::kGe: return Value::Int(x >= y);
+    case BinaryOp::kEq: return Value::Int(x == y);
+    case BinaryOp::kNe: return Value::Int(x != y);
+    case BinaryOp::kAnd: return Value::Int((x != 0.0) && (y != 0.0));
+    case BinaryOp::kOr: return Value::Int((x != 0.0) || (y != 0.0));
+  }
+  LOG(FATAL) << "unreachable binary op";
+  return Value::Float(0.0);
+}
+
+double EvalIntrinsic(Intrinsic fn, double x) {
+  switch (fn) {
+    case Intrinsic::kExp: return std::exp(x);
+    case Intrinsic::kLog: return std::log(x);
+    case Intrinsic::kSqrt: return std::sqrt(x);
+    case Intrinsic::kTanh: return std::tanh(x);
+    case Intrinsic::kSigmoid: return 1.0 / (1.0 + std::exp(-x));
+    case Intrinsic::kAbs: return std::fabs(x);
+    case Intrinsic::kErf: return std::erf(x);
+  }
+  LOG(FATAL) << "unreachable intrinsic";
+  return 0.0;
+}
+
+}  // namespace
+
+int64_t Value::AsInt() const {
+  CHECK(is_int) << "expected an integer value";
+  return i;
+}
+
+int64_t FlattenIndex(const std::vector<int64_t>& indices, const std::vector<int64_t>& shape) {
+  CHECK_EQ(indices.size(), shape.size());
+  int64_t flat = 0;
+  for (size_t d = 0; d < shape.size(); ++d) {
+    CHECK_GE(indices[d], 0) << "index underflow in dim " << d;
+    CHECK_LT(indices[d], shape[d]) << "index overflow in dim " << d;
+    flat = flat * shape[d] + indices[d];
+  }
+  return flat;
+}
+
+Value Evaluate(const Expr& e, EvalContext* ctx) {
+  CHECK(e.defined());
+  const ExprNode& n = *e.get();
+  switch (n.kind) {
+    case ExprKind::kIntImm:
+      return Value::Int(n.int_value);
+    case ExprKind::kFloatImm:
+      return Value::Float(n.float_value);
+    case ExprKind::kVar: {
+      auto it = ctx->vars.find(n.var_id);
+      CHECK(it != ctx->vars.end()) << "unbound variable " << n.var_name;
+      return Value::Int(it->second);
+    }
+    case ExprKind::kBinary: {
+      Value a = Evaluate(n.operands[0], ctx);
+      Value b = Evaluate(n.operands[1], ctx);
+      return EvalBinary(n.binary_op, a, b);
+    }
+    case ExprKind::kSelect: {
+      Value cond = Evaluate(n.operands[0], ctx);
+      return cond.AsBool() ? Evaluate(n.operands[1], ctx) : Evaluate(n.operands[2], ctx);
+    }
+    case ExprKind::kCall: {
+      CHECK_EQ(n.operands.size(), 1u);
+      double x = Evaluate(n.operands[0], ctx).AsFloat();
+      return Value::Float(EvalIntrinsic(n.intrinsic, x));
+    }
+    case ExprKind::kLoad: {
+      auto it = ctx->buffers.find(n.buffer->name);
+      CHECK(it != ctx->buffers.end()) << "unbound buffer " << n.buffer->name;
+      std::vector<int64_t> indices;
+      indices.reserve(n.operands.size());
+      for (const Expr& idx : n.operands) {
+        indices.push_back(Evaluate(idx, ctx).AsInt());
+      }
+      int64_t flat = FlattenIndex(indices, n.buffer->shape);
+      return Value::Float(static_cast<double>((*it->second)[flat]));
+    }
+    case ExprKind::kReduce: {
+      // Iterate the full reduction domain, combining into an accumulator.
+      double acc;
+      bool has_init = n.operands.size() > 1;
+      if (has_init) {
+        acc = Evaluate(n.operands[1], ctx).AsFloat();
+      } else {
+        switch (n.reduce_kind) {
+          case ReduceKind::kSum: acc = 0.0; break;
+          case ReduceKind::kMax: acc = -std::numeric_limits<double>::infinity(); break;
+          case ReduceKind::kMin: acc = std::numeric_limits<double>::infinity(); break;
+          default: acc = 0.0; break;
+        }
+      }
+      std::vector<int64_t> extents;
+      std::vector<int64_t> ids;
+      for (const Expr& axis : n.reduce_axes) {
+        extents.push_back(axis->var_extent);
+        ids.push_back(axis->var_id);
+      }
+      std::vector<int64_t> point(extents.size(), 0);
+      for (;;) {
+        for (size_t d = 0; d < point.size(); ++d) {
+          ctx->vars[ids[d]] = point[d];
+        }
+        double v = Evaluate(n.operands[0], ctx).AsFloat();
+        switch (n.reduce_kind) {
+          case ReduceKind::kSum: acc += v; break;
+          case ReduceKind::kMax: acc = std::max(acc, v); break;
+          case ReduceKind::kMin: acc = std::min(acc, v); break;
+        }
+        // Odometer increment over the reduction domain.
+        size_t d = point.size();
+        while (d > 0) {
+          --d;
+          if (++point[d] < extents[d]) {
+            break;
+          }
+          point[d] = 0;
+          if (d == 0) {
+            for (size_t k = 0; k < ids.size(); ++k) {
+              ctx->vars.erase(ids[k]);
+            }
+            return Value::Float(acc);
+          }
+        }
+      }
+    }
+  }
+  LOG(FATAL) << "unreachable expr kind";
+  return Value::Float(0.0);
+}
+
+}  // namespace ansor

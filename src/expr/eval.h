@@ -1,0 +1,49 @@
+// Scalar expression evaluation, used by the naive DAG executor and the
+// loop-nest interpreter to verify that scheduled programs are
+// semantics-preserving.
+#ifndef ANSOR_SRC_EXPR_EVAL_H_
+#define ANSOR_SRC_EXPR_EVAL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/expr/expr.h"
+
+namespace ansor {
+
+// A runtime value: integers for index/condition expressions, floats for data.
+struct Value {
+  bool is_int = false;
+  int64_t i = 0;
+  double f = 0.0;
+
+  static Value Int(int64_t v) { return Value{true, v, 0.0}; }
+  static Value Float(double v) { return Value{false, 0, v}; }
+
+  double AsFloat() const { return is_int ? static_cast<double>(i) : f; }
+  int64_t AsInt() const;
+  bool AsBool() const { return is_int ? i != 0 : f != 0.0; }
+};
+
+struct EvalContext {
+  // Loop/axis variable bindings, keyed by var_id.
+  std::unordered_map<int64_t, int64_t> vars;
+  // Buffer storage, keyed by buffer name. Storage is row-major float.
+  std::unordered_map<std::string, const std::vector<float>*> buffers;
+};
+
+// Row-major flattening of a multi-dimensional index. Checks bounds.
+int64_t FlattenIndex(const std::vector<int64_t>& indices, const std::vector<int64_t>& shape);
+
+// Evaluates an expression. Reduce nodes are evaluated by iterating their full
+// reduction domain. Loads read from ctx.buffers; out-of-range loads are a
+// fatal error (the lowering inserts guards where needed).
+Value Evaluate(const Expr& e, EvalContext* ctx);
+
+inline double EvaluateFloat(const Expr& e, EvalContext* ctx) {
+  return Evaluate(e, ctx).AsFloat();
+}
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_EXPR_EVAL_H_

@@ -1,0 +1,81 @@
+#include "src/expr/term.h"
+
+#include "src/support/util.h"
+
+namespace ansor {
+
+void FlattenAddTerms(const Expr& e, std::vector<Expr>* terms) {
+  if (e.kind() == ExprKind::kBinary && e->binary_op == BinaryOp::kAdd) {
+    FlattenAddTerms(e->operands[0], terms);
+    FlattenAddTerms(e->operands[1], terms);
+    return;
+  }
+  terms->push_back(e);
+}
+
+bool MatchAxisTerm(const Expr& e, const std::unordered_map<int64_t, int64_t>& var_extent,
+                   AxisTerm* out) {
+  out->expr = e;
+  Expr cur = e;
+  // Peel an optional constant multiplier.
+  if (cur.kind() == ExprKind::kBinary && cur->binary_op == BinaryOp::kMul) {
+    const Expr& a = cur->operands[0];
+    const Expr& b = cur->operands[1];
+    if (b.kind() == ExprKind::kIntImm) {
+      out->multiplier = b->int_value;
+      cur = a;
+    } else if (a.kind() == ExprKind::kIntImm) {
+      out->multiplier = a->int_value;
+      cur = b;
+    } else {
+      return false;
+    }
+  }
+  if (cur.kind() == ExprKind::kIntImm) {
+    out->is_constant = true;
+    out->constant = cur->int_value * out->multiplier;
+    return true;
+  }
+  // Peel an optional modulo.
+  int64_t mod = -1;
+  if (cur.kind() == ExprKind::kBinary && cur->binary_op == BinaryOp::kMod &&
+      cur->operands[1].kind() == ExprKind::kIntImm) {
+    mod = cur->operands[1]->int_value;
+    cur = cur->operands[0];
+  }
+  // Peel an optional division.
+  int64_t div = 1;
+  if (cur.kind() == ExprKind::kBinary && cur->binary_op == BinaryOp::kDiv &&
+      cur->operands[1].kind() == ExprKind::kIntImm) {
+    div = cur->operands[1]->int_value;
+    cur = cur->operands[0];
+  }
+  if (cur.kind() != ExprKind::kVar) {
+    return false;
+  }
+  out->var_id = cur->var_id;
+  out->divisor = div;
+  auto it = var_extent.find(out->var_id);
+  if (it == var_extent.end()) {
+    return false;
+  }
+  int64_t base_extent = CeilDiv(it->second, div);
+  out->component_extent = mod > 0 ? std::min(mod, base_extent) : base_extent;
+  return true;
+}
+
+bool DecomposeIndex(const Expr& e, const std::unordered_map<int64_t, int64_t>& var_extent,
+                    std::vector<AxisTerm>* terms) {
+  std::vector<Expr> parts;
+  FlattenAddTerms(e, &parts);
+  for (const Expr& part : parts) {
+    AxisTerm term;
+    if (!MatchAxisTerm(part, var_extent, &term)) {
+      return false;
+    }
+    terms->push_back(std::move(term));
+  }
+  return true;
+}
+
+}  // namespace ansor

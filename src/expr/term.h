@@ -1,0 +1,47 @@
+// Term decomposition for index expressions.
+//
+// Split/fuse substitution produces index expressions whose additive terms each
+// reference exactly one loop variable in the grammar
+//   c  |  v  |  v*c  |  v/c1  |  (v/c1)%c2  |  ((v/c1)%c2)*c3  |  (v%c)*m ...
+// This matcher recovers (variable, multiplier, component extent) per term; it
+// is shared by the lowering pass (compute_at restriction), the access-pattern
+// analysis and the feature extractor.
+#ifndef ANSOR_SRC_EXPR_TERM_H_
+#define ANSOR_SRC_EXPR_TERM_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/expr/expr.h"
+
+namespace ansor {
+
+struct AxisTerm {
+  bool is_constant = false;
+  int64_t constant = 0;
+  int64_t var_id = -1;
+  int64_t multiplier = 1;
+  // Number of distinct values the matched component takes.
+  int64_t component_extent = 1;
+  // Effective divisor applied to the variable before scaling.
+  int64_t divisor = 1;
+  Expr expr;
+};
+
+// Splits an expression into its top-level additive terms.
+void FlattenAddTerms(const Expr& e, std::vector<Expr>* terms);
+
+// Matches one additive term. `var_extent` maps loop var ids to loop extents
+// (needed to bound component extents). Returns false for anything outside the
+// grammar (e.g. select/min from padding).
+bool MatchAxisTerm(const Expr& e, const std::unordered_map<int64_t, int64_t>& var_extent,
+                   AxisTerm* out);
+
+// Decomposes a full index expression into matched terms. Returns false if any
+// term fails to match.
+bool DecomposeIndex(const Expr& e, const std::unordered_map<int64_t, int64_t>& var_extent,
+                    std::vector<AxisTerm>* terms);
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_EXPR_TERM_H_

@@ -1,0 +1,461 @@
+#include "src/features/feature_extraction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/analysis/access_pattern.h"
+#include "src/dag/compute_dag.h"
+#include "src/support/logging.h"
+
+namespace ansor {
+namespace {
+
+constexpr int kNumBufferSlots = 5;
+constexpr int kIntensitySamples = 10;
+constexpr double kBytesPerElement = 4.0;
+
+double Log2p1(double x) { return std::log2(1.0 + std::max(0.0, x)); }
+
+// Loop position categories (Appendix B: InnerSpatial .. Mixed, None).
+enum PositionType {
+  kPosInnerSpatial = 0,
+  kPosMiddleSpatial,
+  kPosOuterSpatial,
+  kPosInnerReduce,
+  kPosMiddleReduce,
+  kPosOuterReduce,
+  kPosMixed,
+  kPosNone,
+  kNumPositionTypes,
+};
+
+// Reuse categories.
+enum ReuseType { kReuseLoopMultipleRead = 0, kReuseSerialMultipleRead, kReuseNone,
+                 kNumReuseTypes };
+
+struct ArithCounts {
+  double f_add = 0, f_sub = 0, f_mul = 0, f_div = 0, f_mod = 0, f_cmp = 0, f_math = 0,
+         f_select = 0, f_other = 0;
+  double i_add = 0, i_sub = 0, i_mul = 0, i_div = 0, i_mod = 0, i_cmp = 0, i_other = 0;
+};
+
+// Counts arithmetic, separating float work from integer index arithmetic
+// (everything inside Load index operands is integer address computation).
+void CountArith(const Expr& e, bool in_index, ArithCounts* out) {
+  const ExprNode& n = *e.get();
+  switch (n.kind) {
+    case ExprKind::kBinary: {
+      double* slot = nullptr;
+      switch (n.binary_op) {
+        case BinaryOp::kAdd: slot = in_index ? &out->i_add : &out->f_add; break;
+        case BinaryOp::kSub: slot = in_index ? &out->i_sub : &out->f_sub; break;
+        case BinaryOp::kMul: slot = in_index ? &out->i_mul : &out->f_mul; break;
+        case BinaryOp::kDiv: slot = in_index ? &out->i_div : &out->f_div; break;
+        case BinaryOp::kMod: slot = in_index ? &out->i_mod : &out->f_mod; break;
+        case BinaryOp::kMin:
+        case BinaryOp::kMax: slot = in_index ? &out->i_other : &out->f_other; break;
+        default: slot = in_index ? &out->i_cmp : &out->f_cmp; break;
+      }
+      *slot += 1.0;
+      break;
+    }
+    case ExprKind::kCall:
+      out->f_math += 1.0;
+      break;
+    case ExprKind::kSelect:
+      out->f_select += 1.0;
+      break;
+    default:
+      break;
+  }
+  if (n.kind == ExprKind::kLoad) {
+    for (const Expr& idx : n.operands) {
+      CountArith(idx, /*in_index=*/true, out);
+    }
+    return;
+  }
+  if (n.kind == ExprKind::kSelect) {
+    CountArith(n.operands[0], /*in_index=*/true, out);  // condition: integer work
+    CountArith(n.operands[1], in_index, out);
+    CountArith(n.operands[2], in_index, out);
+    return;
+  }
+  for (const Expr& operand : n.operands) {
+    CountArith(operand, in_index, out);
+  }
+}
+
+struct LoopInfo {
+  const LoopTreeNode* loop;
+  int64_t extent;
+};
+
+int PositionOf(size_t index, const std::vector<LoopInfo>& stack) {
+  if (stack.empty()) {
+    return kPosNone;
+  }
+  const LoopInfo& info = stack[index];
+  bool is_reduce = info.loop->iter_kind == IterKind::kReduce;
+  size_t depth = stack.size();
+  // Inner third / middle third / outer third of the nest.
+  double rel = depth <= 1 ? 1.0 : static_cast<double>(index) / static_cast<double>(depth - 1);
+  if (rel >= 0.67) {
+    return is_reduce ? kPosInnerReduce : kPosInnerSpatial;
+  }
+  if (rel >= 0.34) {
+    return is_reduce ? kPosMiddleReduce : kPosMiddleSpatial;
+  }
+  return is_reduce ? kPosOuterReduce : kPosOuterSpatial;
+}
+
+class FeatureBuilder {
+ public:
+  FeatureBuilder(const LoweredProgram& program, std::vector<std::string>* row_stages)
+      : program_(program), row_stages_(row_stages) {}
+
+  std::vector<std::vector<float>> Run() {
+    for (const LoopTreeNodeRef& root : program_.roots) {
+      Walk(*root);
+    }
+    return std::move(rows_);
+  }
+
+ private:
+  void Walk(const LoopTreeNode& node) {
+    switch (node.kind) {
+      case LoopTreeKind::kLoop:
+        stack_.push_back({&node, node.extent});
+        for (const LoopTreeNodeRef& child : node.children) {
+          Walk(*child);
+        }
+        stack_.pop_back();
+        return;
+      case LoopTreeKind::kIf:
+        for (const LoopTreeNodeRef& child : node.children) {
+          Walk(*child);
+        }
+        return;
+      case LoopTreeKind::kStore:
+        rows_.push_back(BuildRow(node));
+        if (row_stages_ != nullptr) {
+          row_stages_->push_back(node.stage_name);
+        }
+        return;
+    }
+  }
+
+  // Appends annotation-family features: innermost length, position one-hot,
+  // product of lengths, count.
+  void AnnotationFeatures(IterAnnotation ann, std::vector<float>* row) {
+    double innermost_len = 0.0;
+    int position = kPosNone;
+    double product = 1.0;
+    double count = 0.0;
+    for (size_t i = 0; i < stack_.size(); ++i) {
+      if (stack_[i].loop->annotation != ann) {
+        continue;
+      }
+      count += 1.0;
+      product *= static_cast<double>(stack_[i].extent);
+      innermost_len = static_cast<double>(stack_[i].extent);
+      position = PositionOf(i, stack_);
+    }
+    if (count == 0.0) {
+      product = 0.0;
+    }
+    row->push_back(static_cast<float>(Log2p1(innermost_len)));
+    for (int p = 0; p < kNumPositionTypes; ++p) {
+      row->push_back(p == position ? 1.0f : 0.0f);
+    }
+    row->push_back(static_cast<float>(Log2p1(product)));
+    row->push_back(static_cast<float>(count));
+  }
+
+  std::vector<float> BuildRow(const LoopTreeNode& store) {
+    std::vector<float> row;
+    row.reserve(FeatureDim());
+
+    std::unordered_map<int64_t, int64_t> extents;
+    for (const LoopInfo& f : stack_) {
+      extents[f.loop->var->var_id] = f.extent;
+    }
+
+    // 1. Float / int arithmetic counts (16), scaled by iteration count of the
+    //    whole statement so bigger statements score bigger.
+    double iters = 1.0;
+    for (const LoopInfo& f : stack_) {
+      iters *= static_cast<double>(f.extent);
+    }
+    ArithCounts counts;
+    if (store.value.defined()) {
+      CountArith(store.value, false, &counts);
+    }
+    if (store.is_accumulate) {
+      counts.f_add += 1.0;
+    }
+    for (double c : {counts.f_add, counts.f_sub, counts.f_mul, counts.f_div, counts.f_mod,
+                     counts.f_cmp, counts.f_math, counts.f_select, counts.f_other,
+                     counts.i_add, counts.i_sub, counts.i_mul, counts.i_div, counts.i_mod,
+                     counts.i_cmp, counts.i_other}) {
+      row.push_back(static_cast<float>(Log2p1(c * iters)));
+    }
+
+    // 2-4. Vectorization / unrolling / parallelization families (11 each).
+    AnnotationFeatures(IterAnnotation::kVectorize, &row);
+    AnnotationFeatures(IterAnnotation::kUnroll, &row);
+    AnnotationFeatures(IterAnnotation::kParallel, &row);
+
+    // 5. GPU thread binding lengths: blockIdx.x/y/z, threadIdx.x/y/z, vthread.
+    double block_x = 0.0;
+    double thread_x = 0.0;
+    double vthread = 0.0;
+    for (const LoopInfo& f : stack_) {
+      if (f.loop->annotation == IterAnnotation::kBlockX) {
+        block_x = block_x == 0.0 ? static_cast<double>(f.extent)
+                                 : block_x * static_cast<double>(f.extent);
+      }
+      if (f.loop->annotation == IterAnnotation::kThreadX) {
+        thread_x = thread_x == 0.0 ? static_cast<double>(f.extent)
+                                   : thread_x * static_cast<double>(f.extent);
+      }
+      if (f.loop->annotation == IterAnnotation::kVThread) {
+        vthread = vthread == 0.0 ? static_cast<double>(f.extent)
+                                 : vthread * static_cast<double>(f.extent);
+      }
+    }
+    row.push_back(static_cast<float>(Log2p1(block_x)));
+    row.push_back(0.0f);  // blockIdx.y (not generated by this implementation)
+    row.push_back(0.0f);  // blockIdx.z
+    row.push_back(static_cast<float>(Log2p1(thread_x)));
+    row.push_back(0.0f);  // threadIdx.y
+    row.push_back(0.0f);  // threadIdx.z
+    row.push_back(static_cast<float>(Log2p1(vthread)));
+
+    // 6. Arithmetic intensity curve: 10 interpolated samples over loop depth.
+    std::vector<AccessPattern> accesses = StatementAccesses(store, extents);
+    size_t depth = stack_.size();
+    double flops_per_iter =
+        std::max(0.5, store.value.defined() ? ExprFlopCount(store.value) : 0.0);
+    std::vector<double> intensity(depth == 0 ? 1 : depth, 0.0);
+    {
+      // unique bytes of loops >= d, summed over accesses.
+      for (size_t d = 0; d < std::max<size_t>(depth, 1); ++d) {
+        double inner_iters = 1.0;
+        double bytes = 0.0;
+        for (size_t j = d; j < depth; ++j) {
+          inner_iters *= static_cast<double>(stack_[j].extent);
+        }
+        for (const AccessPattern& a : accesses) {
+          double elements = 1.0;
+          for (size_t j = d; j < depth; ++j) {
+            int64_t vid = stack_[j].loop->var->var_id;
+            if (!a.analyzable) {
+              elements *= static_cast<double>(stack_[j].extent);
+            } else if (std::fabs(a.StrideOf(vid)) > 0.0) {
+              elements *=
+                  static_cast<double>(std::min<int64_t>(stack_[j].extent, a.DistinctOf(vid)));
+            }
+          }
+          bytes += elements * kBytesPerElement;
+        }
+        intensity[d] = (flops_per_iter * inner_iters) / std::max(bytes, 1.0);
+      }
+    }
+    for (int s = 0; s < kIntensitySamples; ++s) {
+      double pos = intensity.size() <= 1
+                       ? 0.0
+                       : static_cast<double>(s) / (kIntensitySamples - 1) *
+                             static_cast<double>(intensity.size() - 1);
+      size_t lo = static_cast<size_t>(pos);
+      size_t hi = std::min(lo + 1, intensity.size() - 1);
+      double frac = pos - static_cast<double>(lo);
+      row.push_back(static_cast<float>(Log2p1(intensity[lo] * (1 - frac) + intensity[hi] * frac)));
+    }
+
+    // 7. Buffer access features: up to 5 buffers, 18 features each; merge
+    //    multiple accesses to the same buffer, order by bytes descending.
+    struct BufferFeat {
+      double bytes = 0.0;
+      double unique_bytes = 0.0;
+      double lines = 0.0;
+      double unique_lines = 0.0;
+      int access_type = 0;  // bit 0 read, bit 1 write
+      int reuse_type = kReuseNone;
+      double reuse_distance_iters = 0.0;
+      double reuse_distance_bytes = 0.0;
+      double reuse_counter = 1.0;
+      double stride = 0.0;
+      int n_accesses = 0;
+    };
+    std::unordered_map<std::string, BufferFeat> buffer_feats;
+    double line_elems = 16.0;  // 64B line / 4B elements
+    for (const AccessPattern& a : accesses) {
+      BufferFeat& bf = buffer_feats[a.buffer->name];
+      bf.access_type |= a.is_write ? 2 : 1;
+      bf.n_accesses += 1;
+      bf.bytes += iters * kBytesPerElement;
+      // Unique elements over the whole nest and innermost stride.
+      double elements = 1.0;
+      double min_stride = 0.0;
+      for (size_t j = 0; j < depth; ++j) {
+        int64_t vid = stack_[j].loop->var->var_id;
+        double stride = a.analyzable ? std::fabs(a.StrideOf(vid)) : 1.0;
+        if (!a.analyzable) {
+          elements *= static_cast<double>(stack_[j].extent);
+        } else if (stride > 0.0) {
+          elements *= static_cast<double>(std::min<int64_t>(stack_[j].extent, a.DistinctOf(vid)));
+        }
+        if (j + 1 == depth) {
+          min_stride = stride;
+        }
+      }
+      bf.unique_bytes += elements * kBytesPerElement;
+      double contiguous = min_stride > 0.0 && min_stride <= 2.0 ? 1.0 / line_elems : 1.0;
+      bf.lines += std::max(1.0, iters * (min_stride == 0.0 ? 1.0 / line_elems : contiguous));
+      bf.unique_lines += std::max(1.0, elements * contiguous / std::max(min_stride, 1.0));
+      bf.stride = min_stride;
+      // Reuse: innermost enclosing loop the access is invariant to.
+      double dist_iters = 1.0;
+      for (size_t j = depth; j > 0; --j) {
+        int64_t vid = stack_[j - 1].loop->var->var_id;
+        double stride = a.analyzable ? std::fabs(a.StrideOf(vid)) : 1.0;
+        if (stride == 0.0 && stack_[j - 1].extent > 1) {
+          bf.reuse_type = kReuseLoopMultipleRead;
+          bf.reuse_distance_iters = dist_iters;
+          bf.reuse_distance_bytes = std::min(elements, dist_iters) * kBytesPerElement;
+          bf.reuse_counter = static_cast<double>(stack_[j - 1].extent);
+          break;
+        }
+        dist_iters *= static_cast<double>(stack_[j - 1].extent);
+      }
+      if (bf.reuse_type == kReuseNone && bf.n_accesses > 1) {
+        bf.reuse_type = kReuseSerialMultipleRead;
+        bf.reuse_counter = bf.n_accesses;
+      }
+    }
+    std::vector<std::pair<std::string, BufferFeat>> sorted(buffer_feats.begin(),
+                                                           buffer_feats.end());
+    std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+      return a.second.bytes > b.second.bytes;
+    });
+    for (int slot = 0; slot < kNumBufferSlots; ++slot) {
+      if (slot < static_cast<int>(sorted.size())) {
+        const BufferFeat& bf = sorted[static_cast<size_t>(slot)].second;
+        row.push_back(bf.access_type == 1 ? 1.0f : 0.0f);
+        row.push_back(bf.access_type == 2 ? 1.0f : 0.0f);
+        row.push_back(bf.access_type == 3 ? 1.0f : 0.0f);
+        row.push_back(static_cast<float>(Log2p1(bf.bytes)));
+        row.push_back(static_cast<float>(Log2p1(bf.unique_bytes)));
+        row.push_back(static_cast<float>(Log2p1(bf.lines)));
+        row.push_back(static_cast<float>(Log2p1(bf.unique_lines)));
+        for (int r = 0; r < kNumReuseTypes; ++r) {
+          row.push_back(r == bf.reuse_type ? 1.0f : 0.0f);
+        }
+        row.push_back(static_cast<float>(Log2p1(bf.reuse_distance_iters)));
+        row.push_back(static_cast<float>(Log2p1(bf.reuse_distance_bytes)));
+        row.push_back(static_cast<float>(Log2p1(bf.reuse_counter)));
+        row.push_back(static_cast<float>(Log2p1(bf.stride)));
+        double rc = std::max(1.0, bf.reuse_counter);
+        row.push_back(static_cast<float>(Log2p1(bf.bytes / rc)));
+        row.push_back(static_cast<float>(Log2p1(bf.unique_bytes / rc)));
+        row.push_back(static_cast<float>(Log2p1(bf.lines / rc)));
+        row.push_back(static_cast<float>(Log2p1(bf.unique_lines / rc)));
+      } else {
+        for (int z = 0; z < 18; ++z) {
+          row.push_back(0.0f);
+        }
+      }
+    }
+
+    // 8. Allocation features: output buffer size, number of allocations.
+    row.push_back(static_cast<float>(
+        Log2p1(static_cast<double>(store.buffer->NumElements()) * kBytesPerElement)));
+    row.push_back(static_cast<float>(Log2p1(static_cast<double>(program_.buffers.size()))));
+
+    // 9. Other: number of outer loops, product of their lengths,
+    //    auto_unroll_max_step, reduction flag, buffer count, output rank.
+    row.push_back(static_cast<float>(static_cast<double>(depth)));
+    row.push_back(static_cast<float>(Log2p1(iters)));
+    row.push_back(static_cast<float>(Log2p1(static_cast<double>(store.auto_unroll_max_step))));
+    row.push_back(store.is_accumulate ? 1.0f : 0.0f);
+    row.push_back(static_cast<float>(static_cast<double>(buffer_feats.size())));
+    row.push_back(static_cast<float>(static_cast<double>(store.indices.size())));
+
+    CHECK_EQ(row.size(), FeatureDim());
+    return row;
+  }
+
+  const LoweredProgram& program_;
+  std::vector<std::string>* row_stages_;
+  std::vector<LoopInfo> stack_;
+  std::vector<std::vector<float>> rows_;
+};
+
+std::vector<std::string> BuildFeatureNames() {
+  std::vector<std::string> names;
+  for (const char* n : {"f_add", "f_sub", "f_mul", "f_div", "f_mod", "f_cmp", "f_math",
+                        "f_select", "f_other", "i_add", "i_sub", "i_mul", "i_div", "i_mod",
+                        "i_cmp", "i_other"}) {
+    names.push_back(n);
+  }
+  for (const char* fam : {"vec", "unroll", "parallel"}) {
+    names.push_back(std::string(fam) + ".innermost_len");
+    for (const char* p : {"inner_s", "mid_s", "outer_s", "inner_r", "mid_r", "outer_r",
+                          "mixed", "none"}) {
+      names.push_back(std::string(fam) + ".pos_" + p);
+    }
+    names.push_back(std::string(fam) + ".product");
+    names.push_back(std::string(fam) + ".count");
+  }
+  for (const char* n : {"gpu.block_x", "gpu.block_y", "gpu.block_z", "gpu.thread_x",
+                        "gpu.thread_y", "gpu.thread_z", "gpu.vthread"}) {
+    names.push_back(n);
+  }
+  for (int i = 0; i < kIntensitySamples; ++i) {
+    names.push_back("intensity." + std::to_string(i));
+  }
+  for (int b = 0; b < kNumBufferSlots; ++b) {
+    std::string prefix = "buf" + std::to_string(b) + ".";
+    for (const char* n : {"read", "write", "rw", "bytes", "unique_bytes", "lines",
+                          "unique_lines", "reuse_loop", "reuse_serial", "reuse_none",
+                          "reuse_dist_iters", "reuse_dist_bytes", "reuse_counter", "stride",
+                          "bytes_per_reuse", "unique_bytes_per_reuse", "lines_per_reuse",
+                          "unique_lines_per_reuse"}) {
+      names.push_back(prefix + n);
+    }
+  }
+  for (const char* n : {"alloc.output_bytes", "alloc.count", "outer_loops", "iters",
+                        "auto_unroll_max_step", "is_reduction", "num_buffers",
+                        "output_rank"}) {
+    names.push_back(n);
+  }
+  return names;
+}
+
+}  // namespace
+
+const std::vector<std::string>& FeatureNames() {
+  static const std::vector<std::string> names = BuildFeatureNames();
+  return names;
+}
+
+size_t FeatureDim() { return FeatureNames().size(); }
+
+std::vector<std::vector<float>> ExtractFeatures(const LoweredProgram& program,
+                                                std::vector<std::string>* row_stages) {
+  if (!program.ok) {
+    return {};
+  }
+  return FeatureBuilder(program, row_stages).Run();
+}
+
+std::vector<std::vector<float>> ExtractStateFeatures(const State& state) {
+  LoweredProgram program = Lower(state);
+  if (!program.ok) {
+    return {};
+  }
+  return ExtractFeatures(program);
+}
+
+}  // namespace ansor

@@ -1,0 +1,40 @@
+// Per-statement program features (paper §5.2 and Appendix B).
+//
+// "We train the cost model to predict the score of one innermost non-loop
+// statement in a loop nest. For a full program, we make predictions for each
+// innermost non-loop statement and add the predictions up as the score."
+//
+// The extracted vector mirrors Appendix B: float/int arithmetic counts,
+// vectorization/unrolling/parallelization features with loop-position
+// one-hots, GPU thread-binding lengths, a 10-point arithmetic-intensity
+// curve, per-buffer access features for up to five buffers, allocation
+// features and outer-loop context. Size-like features are log2(1+x)
+// transformed. The total dimension is 164, as in the paper.
+#ifndef ANSOR_SRC_FEATURES_FEATURE_EXTRACTION_H_
+#define ANSOR_SRC_FEATURES_FEATURE_EXTRACTION_H_
+
+#include <vector>
+
+#include "src/lower/loop_tree.h"
+
+namespace ansor {
+
+// Dimension of one statement's feature vector.
+size_t FeatureDim();
+
+// Names of all features, in order (for debugging / model introspection).
+const std::vector<std::string>& FeatureNames();
+
+// One row per innermost store statement of the program (init stores
+// included: they are real work). Programs that fail to lower produce no rows.
+// When `row_stages` is non-null it receives the owning stage name of each row
+// (used by node-based crossover to score per-node rewriting steps).
+std::vector<std::vector<float>> ExtractFeatures(const LoweredProgram& program,
+                                                std::vector<std::string>* row_stages = nullptr);
+
+// Convenience: lowers the state first. Returns empty on lowering failure.
+std::vector<std::vector<float>> ExtractStateFeatures(const State& state);
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_FEATURES_FEATURE_EXTRACTION_H_

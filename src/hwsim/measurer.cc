@@ -1,0 +1,69 @@
+#include "src/hwsim/measurer.h"
+
+#include <cmath>
+
+#include "src/exec/interpreter.h"
+#include "src/support/rng.h"
+#include "src/support/thread_pool.h"
+#include "src/support/util.h"
+
+namespace ansor {
+
+Measurer::Measurer(MachineModel machine, MeasureOptions options)
+    : machine_(std::move(machine)), options_(options) {}
+
+MeasureResult Measurer::MeasureImpl(const State& state, uint64_t noise_tag) {
+  trials_.fetch_add(1);
+  MeasureResult result;
+  if (state.failed()) {
+    result.error = "invalid state: " + state.error();
+    return result;
+  }
+  LoweredProgram program = Lower(state);
+  if (!program.ok) {
+    result.error = "lowering failed: " + program.error;
+    return result;
+  }
+  if (options_.verify_every > 0 &&
+      verify_counter_.fetch_add(1) % options_.verify_every == 0) {
+    std::string mismatch = VerifyAgainstNaive(state);
+    if (!mismatch.empty()) {
+      result.error = "verification failed: " + mismatch;
+      return result;
+    }
+  }
+  SimulatedCost cost = SimulateProgram(program, machine_, options_.sim);
+  if (!cost.valid) {
+    result.error = cost.error;
+    return result;
+  }
+  double seconds = cost.seconds;
+  if (options_.noise_stddev > 0.0) {
+    // Deterministic per-program noise: hash the step list so that repeated
+    // measurements of the same program agree (like a warmed-up benchmark).
+    uint64_t h = options_.noise_seed;
+    HashCombine(&h, noise_tag);
+    for (const Step& step : state.steps()) {
+      HashCombine(&h, std::hash<std::string>()(step.ToString()));
+    }
+    Rng rng(h);
+    seconds *= std::exp(rng.Normal(0.0, options_.noise_stddev));
+  }
+  result.valid = true;
+  result.seconds = seconds;
+  double flops = state.dag()->FlopCount();
+  result.throughput = flops / std::max(seconds, 1e-12);
+  return result;
+}
+
+MeasureResult Measurer::Measure(const State& state) { return MeasureImpl(state, 0); }
+
+std::vector<MeasureResult> Measurer::MeasureBatch(const std::vector<State>& states) {
+  std::vector<MeasureResult> results(states.size());
+  ThreadPool::Global().ParallelFor(states.size(), [&](size_t i) {
+    results[i] = MeasureImpl(states[i], 0);
+  });
+  return results;
+}
+
+}  // namespace ansor

@@ -1,0 +1,65 @@
+// The Measurer (paper Fig. 4): compiles (lowers) candidate programs and
+// "executes" them on the simulated target, returning execution time.
+//
+// Mirrors real-hardware behaviour the search must cope with: invalid programs
+// fail measurement (throughput 0), results can carry multiplicative noise,
+// and batch measurement runs in parallel.
+#ifndef ANSOR_SRC_HWSIM_MEASURER_H_
+#define ANSOR_SRC_HWSIM_MEASURER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/hwsim/simulator.h"
+#include "src/ir/state.h"
+
+namespace ansor {
+
+struct MeasureOptions {
+  // Layout-rewrite of constant tensors (paper §4.2); on by default for
+  // inference workloads, off for the ablation bench.
+  SimOptions sim;
+  // Multiplicative log-normal noise stddev on measured time (0 = exact).
+  double noise_stddev = 0.0;
+  uint64_t noise_seed = 0;
+  // Verify every Nth measured program against naive execution (0 = never).
+  // Catches lowering bugs during long searches without paying interpretation
+  // cost for every candidate.
+  int verify_every = 0;
+};
+
+struct MeasureResult {
+  bool valid = false;
+  std::string error;
+  double seconds = 0.0;
+  // FLOPS achieved (task flop count / seconds); the search maximizes this.
+  double throughput = 0.0;
+};
+
+class Measurer {
+ public:
+  explicit Measurer(MachineModel machine, MeasureOptions options = MeasureOptions());
+
+  const MachineModel& machine() const { return machine_; }
+
+  MeasureResult Measure(const State& state);
+  std::vector<MeasureResult> MeasureBatch(const std::vector<State>& states);
+
+  // Total number of measurement trials performed (the budget unit of §7).
+  int64_t trial_count() const { return trials_.load(); }
+  void ResetTrialCount() { trials_.store(0); }
+
+ private:
+  MeasureResult MeasureImpl(const State& state, uint64_t noise_tag);
+
+  MachineModel machine_;
+  MeasureOptions options_;
+  std::atomic<int64_t> trials_{0};
+  std::atomic<int64_t> verify_counter_{0};
+};
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_HWSIM_MEASURER_H_

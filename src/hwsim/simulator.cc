@@ -1,0 +1,454 @@
+#include "src/hwsim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <unordered_set>
+
+#include "src/analysis/access_pattern.h"
+#include "src/dag/compute_dag.h"
+#include "src/expr/term.h"
+
+namespace ansor {
+namespace {
+
+constexpr double kBytesPerElement = 4.0;  // float32
+
+// Counts Select nodes with a constant-zero arm and multiplies their
+// selectivities: the fraction of iterations that do real work. Sets
+// *resolvable to false when some select condition references a variable
+// outside `static_vars` — the code generator can only delete zero work when
+// the condition is decidable at compile time, i.e. every variable it uses
+// belongs to an unrolled loop (paper §7.1: the T2D speedup needs "correct
+// tile structures and unrolling strategies").
+double ZeroWorkFraction(const Expr& e,
+                        const std::unordered_map<int64_t, int64_t>& var_extent,
+                        const std::unordered_set<int64_t>& static_vars, bool* resolvable) {
+  double fraction = 1.0;
+  std::function<void(const Expr&)> walk = [&](const Expr& expr) {
+    const ExprNode& n = *expr.get();
+    if (n.kind == ExprKind::kSelect) {
+      const ExprNode& false_arm = *n.operands[2].get();
+      bool zero_arm = false_arm.kind == ExprKind::kFloatImm && false_arm.float_value == 0.0;
+      if (zero_arm) {
+        fraction *= EstimateSelectivity(n.operands[0], var_extent);
+        std::vector<const ExprNode*> cond_vars;
+        CollectVars(n.operands[0], &cond_vars);
+        for (const ExprNode* v : cond_vars) {
+          auto it = var_extent.find(v->var_id);
+          bool unit_loop = it != var_extent.end() && it->second == 1;
+          if (!unit_loop && static_vars.count(v->var_id) == 0) {
+            *resolvable = false;
+          }
+        }
+      }
+    }
+    for (const Expr& operand : n.operands) {
+      walk(operand);
+    }
+  };
+  walk(e);
+  return fraction;
+}
+
+struct LoopFrame {
+  const LoopTreeNode* loop;
+  int64_t extent;
+};
+
+class Simulator {
+ public:
+  Simulator(const LoweredProgram& program, const MachineModel& machine,
+            const SimOptions& options)
+      : program_(program), machine_(machine), options_(options) {}
+
+  SimulatedCost Run() {
+    for (const LoopTreeNodeRef& root : program_.roots) {
+      Walk(*root, 1.0);
+    }
+    cost_.valid = true;
+    cost_.cycles = cost_.compute_cycles + cost_.memory_cycles + cost_.overhead_cycles;
+    cost_.seconds = cost_.cycles / (machine_.clock_ghz * 1e9);
+    return cost_;
+  }
+
+ private:
+  void Walk(const LoopTreeNode& node, double selectivity) {
+    switch (node.kind) {
+      case LoopTreeKind::kLoop:
+        stack_.push_back({&node, node.extent});
+        for (const LoopTreeNodeRef& child : node.children) {
+          Walk(*child, selectivity);
+        }
+        stack_.pop_back();
+        return;
+      case LoopTreeKind::kIf: {
+        std::unordered_map<int64_t, int64_t> extents = VarExtents();
+        double s = EstimateSelectivity(node.condition, extents);
+        for (const LoopTreeNodeRef& child : node.children) {
+          Walk(*child, selectivity * s);
+        }
+        return;
+      }
+      case LoopTreeKind::kStore:
+        CostStatement(node, selectivity);
+        return;
+    }
+  }
+
+  std::unordered_map<int64_t, int64_t> VarExtents() const {
+    std::unordered_map<int64_t, int64_t> extents;
+    for (const LoopFrame& f : stack_) {
+      extents[f.loop->var->var_id] = f.extent;
+    }
+    return extents;
+  }
+
+  void CostStatement(const LoopTreeNode& store, double selectivity) {
+    std::unordered_map<int64_t, int64_t> extents = VarExtents();
+
+    double iters = 1.0;
+    for (const LoopFrame& f : stack_) {
+      iters *= static_cast<double>(f.extent);
+    }
+    iters *= selectivity;
+    if (iters <= 0.0) {
+      return;
+    }
+
+    // --- Compute cost ---------------------------------------------------
+    double flops_per_iter = store.value.defined() ? ExprFlopCount(store.value) : 0.0;
+    if (store.is_accumulate) {
+      flops_per_iter += 1.0;
+    }
+    flops_per_iter = std::max(flops_per_iter, 0.5);
+
+    // Vectorization: the innermost loop must carry the annotation and the
+    // accesses must be unit-stride (or invariant) along it.
+    double vec_speedup = 1.0;
+    const LoopTreeNode* innermost = stack_.empty() ? nullptr : stack_.back().loop;
+    std::vector<AccessPattern> accesses = StatementAccesses(store, extents);
+    if (innermost != nullptr && innermost->annotation == IterAnnotation::kVectorize) {
+      int64_t vid = innermost->var->var_id;
+      double efficiency = 1.0;
+      for (const AccessPattern& a : accesses) {
+        if (LayoutRewritten(a)) {
+          continue;  // weights repacked to the tile structure: contiguous
+        }
+        if (!a.analyzable) {
+          efficiency = std::min(efficiency, 0.4);
+          continue;
+        }
+        double stride = std::fabs(a.StrideOf(vid));
+        if (stride > 1.5) {
+          efficiency = std::min(efficiency, 0.3);  // gather/scatter
+        }
+      }
+      if (innermost->iter_kind == IterKind::kReduce) {
+        efficiency *= 0.6;  // horizontal reduction at the end
+      }
+      vec_speedup =
+          std::max(1.0, std::min<double>(innermost->extent, machine_.vector_lanes) *
+                            efficiency);
+    }
+
+    // Unrolled region: innermost consecutive loops explicitly unrolled or
+    // within the auto_unroll_max_step budget.
+    double unrolled_product = 1.0;
+    bool unrolled = false;
+    std::unordered_set<int64_t> unrolled_vars;
+    {
+      double budget = static_cast<double>(store.auto_unroll_max_step);
+      double prod = 1.0;
+      for (size_t i = stack_.size(); i > 0; --i) {
+        const LoopFrame& f = stack_[i - 1];
+        prod *= static_cast<double>(f.extent);
+        bool explicit_unroll = f.loop->annotation == IterAnnotation::kUnroll;
+        bool auto_unroll = budget > 0.0 && prod <= budget;
+        if (explicit_unroll || auto_unroll) {
+          unrolled = true;
+          unrolled_product = prod;
+          unrolled_vars.insert(f.loop->var->var_id);
+        } else if (f.loop->annotation != IterAnnotation::kVectorize) {
+          break;
+        } else {
+          unrolled_vars.insert(f.loop->var->var_id);  // vector lanes are static too
+        }
+      }
+    }
+
+    // Multiply-by-zero elimination: when the statement contains zero-arm
+    // selects whose conditions are fully decided by unrolled (compile-time)
+    // loop variables, the code generator deletes the zero iterations (the
+    // T2D/DIL effect). A select that stays dynamic costs a branch instead.
+    double work_fraction = 1.0;
+    if (store.value.defined()) {
+      bool resolvable = true;
+      double zero_fraction = ZeroWorkFraction(store.value, extents, unrolled_vars,
+                                              &resolvable);
+      if (zero_fraction < 1.0) {
+        work_fraction =
+            (unrolled && resolvable) ? zero_fraction + 0.05 : 1.0 + 0.2;  // branch cost
+      }
+    }
+
+    double compute_cycles = iters * flops_per_iter * work_fraction /
+                            (machine_.flops_per_cycle_per_core * vec_speedup);
+
+    // Loop bookkeeping overhead: dominated by the innermost level; vector
+    // lanes and unrolling both amortize it.
+    double overhead_per_iter = machine_.loop_overhead_cycles * 1.3;
+    if (unrolled) {
+      overhead_per_iter *= machine_.unroll_overhead_discount +
+                           (1.0 - machine_.unroll_overhead_discount) / unrolled_product;
+    }
+    if (vec_speedup > 1.0) {
+      overhead_per_iter /= std::min<double>(innermost->extent, machine_.vector_lanes);
+    }
+    // Excessive unrolling blows up the instruction cache; penalize gently.
+    if (unrolled_product > 512.0) {
+      overhead_per_iter += 0.02 * (unrolled_product - 512.0) / 512.0;
+    }
+    double overhead_cycles = iters * overhead_per_iter;
+
+    // --- Memory cost ------------------------------------------------------
+    double memory_cycles = CostMemory(accesses, iters);
+
+    // --- Parallelism -------------------------------------------------------
+    double speedup = 1.0;
+    double launch_cycles = 0.0;
+    if (machine_.kind == MachineKind::kCpu) {
+      double parallel_extent = 1.0;
+      for (const LoopFrame& f : stack_) {
+        if (f.loop->annotation == IterAnnotation::kParallel) {
+          parallel_extent *= static_cast<double>(f.extent);
+        } else {
+          break;  // only outermost consecutive parallel loops count
+        }
+      }
+      if (parallel_extent > 1.0) {
+        double cores = static_cast<double>(machine_.num_cores);
+        double used = std::min(parallel_extent, cores);
+        // Imbalance: with E parallel chunks on P cores, the longest core runs
+        // ceil(E/P) chunks.
+        double rounds = std::ceil(parallel_extent / cores);
+        double efficiency = parallel_extent / (rounds * cores);
+        speedup = std::max(1.0, used * efficiency);
+        launch_cycles =
+            machine_.parallel_task_overhead_cycles * std::min(parallel_extent, cores);
+      }
+    } else {
+      double blocks = 1.0;
+      double threads = 1.0;
+      int64_t thread_var = -1;
+      for (const LoopFrame& f : stack_) {
+        if (f.loop->annotation == IterAnnotation::kBlockX) {
+          blocks *= static_cast<double>(f.extent);
+        } else if (f.loop->annotation == IterAnnotation::kThreadX ||
+                   f.loop->annotation == IterAnnotation::kVThread) {
+          threads *= static_cast<double>(f.extent);
+          thread_var = f.loop->var->var_id;
+        }
+      }
+      if (blocks * threads > 1.0) {
+        double sms = static_cast<double>(machine_.num_cores);
+        double warp = static_cast<double>(machine_.vector_lanes);
+        double warp_eff = std::min(threads, warp) / warp;
+        double concurrent = std::min(blocks, sms) *
+                            std::min(threads, static_cast<double>(machine_.max_threads_per_core));
+        speedup = std::max(1.0, std::min(blocks * threads, concurrent) * warp_eff);
+        launch_cycles = machine_.parallel_task_overhead_cycles;
+        // Coalescing: loads should be unit-stride along threadIdx.x.
+        if (thread_var >= 0) {
+          for (const AccessPattern& a : accesses) {
+            if (LayoutRewritten(a)) {
+              continue;
+            }
+            double stride = std::fabs(a.StrideOf(thread_var));
+            if (a.analyzable && stride > 1.5) {
+              memory_cycles *= 2.0;
+              break;
+            }
+          }
+        }
+      } else {
+        // Unbound GPU program: runs on a single thread of a single SM.
+        speedup = 1.0 / 16.0;
+      }
+    }
+
+    cost_.compute_cycles += compute_cycles / speedup;
+    cost_.memory_cycles += memory_cycles / speedup;
+    cost_.overhead_cycles += overhead_cycles / speedup + launch_cycles;
+  }
+
+  // Cache-hierarchy cost: for each access, find for each cache capacity the
+  // loop depth whose inner footprint fits, then charge one line transfer per
+  // re-fetch from the level below.
+  double CostMemory(const std::vector<AccessPattern>& accesses, double total_iters) {
+    size_t depth = stack_.size();
+    // Footprint of the loops at and inside depth d, summed over all accesses.
+    std::vector<double> footprint(depth + 1, 0.0);
+    // Per access: unique elements / lines at each depth.
+    struct PerAccess {
+      std::vector<double> unique_elements;
+      std::vector<double> lines;
+      std::vector<double> refetch;  // product of outer varying extents
+      bool analyzable;
+    };
+    std::vector<PerAccess> infos;
+    for (const AccessPattern& a : accesses) {
+      PerAccess info;
+      info.analyzable = a.analyzable;
+      info.unique_elements.assign(depth + 1, 1.0);
+      info.lines.assign(depth + 1, 1.0);
+      info.refetch.assign(depth + 1, 1.0);
+      bool packed = LayoutRewritten(a);
+      double elements = 1.0;
+      double min_stride = 1e30;
+      for (size_t d = depth; d > 0; --d) {
+        const LoopFrame& f = stack_[d - 1];
+        int64_t vid = f.loop->var->var_id;
+        double stride = std::fabs(a.StrideOf(vid));
+        if (!a.analyzable) {
+          // Conservative: every level touches everything.
+          elements *= static_cast<double>(f.extent);
+          min_stride = 1.0;
+        } else if (stride > 0.0) {
+          elements *= static_cast<double>(std::min<int64_t>(f.extent, a.DistinctOf(vid)));
+          min_stride = std::min(min_stride, stride);
+        }
+        info.unique_elements[d - 1] = elements;
+        double line_elems = static_cast<double>(machine_.cache_line_bytes) / kBytesPerElement;
+        double contiguous = (packed || min_stride <= 2.0) ? 1.0 / line_elems : 1.0;
+        info.lines[d - 1] = std::max(1.0, elements * contiguous);
+      }
+      // Refetch factor: outer loops (outside depth d) whose var varies the
+      // access force a re-fetch of the region each iteration.
+      double refetch = 1.0;
+      for (size_t d = 0; d < depth; ++d) {
+        info.refetch[d] = refetch;
+        const LoopFrame& f = stack_[d];
+        int64_t vid = f.loop->var->var_id;
+        if (!a.analyzable || std::fabs(a.StrideOf(vid)) > 0.0) {
+          refetch *= static_cast<double>(f.extent);
+        }
+      }
+      // refetch[depth] covers the "nothing fits this cache" case: every
+      // varying iteration misses, amortized over the cache line for
+      // contiguous streams.
+      info.refetch[depth] = refetch;
+      {
+        double line_elems = static_cast<double>(machine_.cache_line_bytes) / kBytesPerElement;
+        info.lines[depth] = min_stride <= 2.0 ? 1.0 / line_elems : 1.0;
+      }
+      infos.push_back(std::move(info));
+    }
+    for (size_t d = 0; d <= depth; ++d) {
+      for (const PerAccess& info : infos) {
+        footprint[d] +=
+            (d < depth ? info.unique_elements[d] : 1.0) * kBytesPerElement;
+      }
+    }
+
+    // Traffic between level l and l+1 = misses at capacity(l), priced at the
+    // line cost of level l+1 (the last level is backed by DRAM). L1 hits ride
+    // on the compute pipeline and are free here.
+    double cycles = 0.0;
+    for (size_t a = 0; a < infos.size(); ++a) {
+      const PerAccess& info = infos[a];
+      double prev_fetches = total_iters;  // every iteration touches L1
+      for (size_t level = 0; level < machine_.caches.size(); ++level) {
+        double capacity = static_cast<double>(machine_.caches[level].size_bytes);
+        // Outermost depth whose inner footprint fits this capacity.
+        size_t fit_depth = depth;
+        for (size_t d = depth + 1; d > 0; --d) {
+          if (footprint[d - 1] <= capacity) {
+            fit_depth = d - 1;
+          } else {
+            break;
+          }
+        }
+        double fetches =
+            std::max(1.0, info.lines[fit_depth] * info.refetch[fit_depth]);
+        fetches = std::min(fetches, prev_fetches);
+        double line_cost = level + 1 < machine_.caches.size()
+                               ? machine_.caches[level + 1].line_cost_cycles
+                               : machine_.dram_line_cost_cycles;
+        cycles += fetches * line_cost;
+        prev_fetches = fetches;
+      }
+    }
+    return cycles;
+  }
+
+  // True when the access's layout is compiler-controlled (constant weights
+  // with layout rewrite enabled): stride penalties do not apply.
+  bool LayoutRewritten(const AccessPattern& a) const {
+    return options_.rewrite_constant_layouts && a.buffer != nullptr &&
+           a.buffer->is_constant;
+  }
+
+  const LoweredProgram& program_;
+  const MachineModel& machine_;
+  SimOptions options_;
+  std::vector<LoopFrame> stack_;
+  SimulatedCost cost_;
+};
+
+}  // namespace
+
+double EstimateSelectivity(const Expr& cond,
+                           const std::unordered_map<int64_t, int64_t>& var_extent) {
+  const ExprNode& n = *cond.get();
+  if (n.kind == ExprKind::kBinary) {
+    if (n.binary_op == BinaryOp::kAnd) {
+      return EstimateSelectivity(n.operands[0], var_extent) *
+             EstimateSelectivity(n.operands[1], var_extent);
+    }
+    if (n.binary_op == BinaryOp::kLt || n.binary_op == BinaryOp::kLe) {
+      // expr < c : fraction of the expression's range below c.
+      const ExprNode& rhs = *n.operands[1].get();
+      if (rhs.kind != ExprKind::kIntImm) {
+        return 1.0;
+      }
+      std::vector<AxisTerm> terms;
+      if (!DecomposeIndex(n.operands[0], var_extent, &terms)) {
+        return 1.0;
+      }
+      double max_value = 0.0;
+      double constant = 0.0;
+      for (const AxisTerm& t : terms) {
+        if (t.is_constant) {
+          constant += static_cast<double>(t.constant);
+        } else {
+          max_value += static_cast<double>((t.component_extent - 1) * t.multiplier);
+        }
+      }
+      double bound = static_cast<double>(rhs.int_value) -
+                     (n.binary_op == BinaryOp::kLt ? 0.0 : -1.0);
+      double range = max_value + 1.0;
+      double valid = bound - constant;
+      return std::clamp(valid / range, 0.0, 1.0);
+    }
+    if (n.binary_op == BinaryOp::kGe || n.binary_op == BinaryOp::kGt) {
+      Expr flipped = n.binary_op == BinaryOp::kGe
+                         ? (n.operands[0] < n.operands[1])
+                         : (n.operands[0] <= n.operands[1]);
+      return std::clamp(1.0 - EstimateSelectivity(flipped, var_extent), 0.0, 1.0);
+    }
+  }
+  return 1.0;
+}
+
+SimulatedCost SimulateProgram(const LoweredProgram& program, const MachineModel& machine,
+                              const SimOptions& options) {
+  if (!program.ok) {
+    SimulatedCost cost;
+    cost.error = "cannot simulate failed lowering: " + program.error;
+    return cost;
+  }
+  return Simulator(program, machine, options).Run();
+}
+
+}  // namespace ansor

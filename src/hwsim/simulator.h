@@ -1,0 +1,48 @@
+// Analytical performance simulator: the "Measurer" substrate (paper Fig. 4).
+//
+// Walks a lowered loop tree and estimates execution cycles on a MachineModel.
+// The estimate rewards exactly the optimizations Ansor's search space exposes:
+//   * tiling that fits each reuse level into the cache hierarchy,
+//   * unit-stride vectorization of the innermost loop,
+//   * balanced multi-core parallelization of outer loops,
+//   * unrolling (loop overhead removal + multiply-by-zero elimination for
+//     padded/strided computations, the T2D effect from §7.1),
+//   * GPU thread binding with coalesced access.
+#ifndef ANSOR_SRC_HWSIM_SIMULATOR_H_
+#define ANSOR_SRC_HWSIM_SIMULATOR_H_
+
+#include "src/hwsim/machine_model.h"
+#include "src/lower/loop_tree.h"
+
+namespace ansor {
+
+struct SimulatedCost {
+  bool valid = false;
+  std::string error;
+  double cycles = 0.0;
+  double seconds = 0.0;
+  // Breakdown (for tests and diagnostics).
+  double compute_cycles = 0.0;
+  double memory_cycles = 0.0;
+  double overhead_cycles = 0.0;
+};
+
+struct SimOptions {
+  // Paper §4.2 layout rewrite: constant tensors (weights) are repacked to the
+  // multi-level tile structure, making their accesses effectively contiguous
+  // and eliminating layout-transformation overheads.
+  bool rewrite_constant_layouts = true;
+};
+
+SimulatedCost SimulateProgram(const LoweredProgram& program, const MachineModel& machine,
+                              const SimOptions& options = SimOptions());
+
+// Fraction of iterations for which `cond` holds, assuming affine comparisons
+// over loop variables with the given extents (used both for guard costing and
+// for the unroll zero-elimination discount). Returns 1.0 when unknown.
+double EstimateSelectivity(const Expr& cond,
+                           const std::unordered_map<int64_t, int64_t>& var_extent);
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_HWSIM_SIMULATOR_H_

@@ -1,0 +1,48 @@
+// Iterators: the loop axes of a stage in the schedule IR.
+//
+// Every iterator tracks its provenance (which original tensor axis it derives
+// from and its stride within that axis). The lowering pass uses this metadata
+// to reconstruct original-axis index expressions and to restrict producer
+// loops under compute_at.
+#ifndef ANSOR_SRC_IR_ITERATOR_H_
+#define ANSOR_SRC_IR_ITERATOR_H_
+
+#include <string>
+
+#include "src/expr/expr.h"
+
+namespace ansor {
+
+enum class IterKind { kSpace, kReduce };
+
+enum class IterAnnotation {
+  kNone,
+  kParallel,
+  kVectorize,
+  kUnroll,
+  // GPU thread bindings.
+  kBlockX,
+  kThreadX,
+  kVThread,
+};
+
+const char* IterAnnotationName(IterAnnotation ann);
+
+struct Iterator {
+  std::string name;
+  int64_t extent = 0;
+  IterKind kind = IterKind::kSpace;
+  IterAnnotation annotation = IterAnnotation::kNone;
+  // The loop variable for this iterator (a Var expression).
+  Expr var;
+  // Original axis this iterator derives from (var_id of the compute op's axis
+  // or reduce var); -1 when the iterator mixes several axes (fused).
+  int64_t orig_axis_id = -1;
+  // Multiplier of this iterator's value within the original axis; only
+  // meaningful when orig_axis_id >= 0.
+  int64_t stride = 1;
+};
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_IR_ITERATOR_H_

@@ -1,0 +1,157 @@
+#include "src/ir/steps.h"
+
+#include <sstream>
+
+#include "src/support/util.h"
+
+namespace ansor {
+
+const char* IterAnnotationName(IterAnnotation ann) {
+  switch (ann) {
+    case IterAnnotation::kNone: return "none";
+    case IterAnnotation::kParallel: return "parallel";
+    case IterAnnotation::kVectorize: return "vectorize";
+    case IterAnnotation::kUnroll: return "unroll";
+    case IterAnnotation::kBlockX: return "blockIdx.x";
+    case IterAnnotation::kThreadX: return "threadIdx.x";
+    case IterAnnotation::kVThread: return "vthread";
+  }
+  return "?";
+}
+
+std::string Step::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case StepKind::kSplit:
+      os << "split(" << stage << ", iter=" << iter << ", lengths=[" << Join(lengths, ",")
+         << "])";
+      break;
+    case StepKind::kFollowSplit:
+      os << "follow_split(" << stage << ", iter=" << iter << ", src=" << src_step
+         << ", parts=" << n_parts << ")";
+      break;
+    case StepKind::kFuse:
+      os << "fuse(" << stage << ", iter=" << iter << ", count=" << fuse_count << ")";
+      break;
+    case StepKind::kReorder:
+      os << "reorder(" << stage << ", order=[" << Join(order, ",") << "])";
+      break;
+    case StepKind::kComputeAt:
+      os << "compute_at(" << stage << ", " << target_stage << ", iter=" << target_iter << ")";
+      break;
+    case StepKind::kComputeInline:
+      os << "compute_inline(" << stage << ")";
+      break;
+    case StepKind::kComputeRoot:
+      os << "compute_root(" << stage << ")";
+      break;
+    case StepKind::kCacheWrite:
+      os << "cache_write(" << stage << ")";
+      break;
+    case StepKind::kRfactor:
+      os << "rfactor(" << stage << ", iter=" << iter << ")";
+      break;
+    case StepKind::kAnnotation:
+      os << "annotate(" << stage << ", iter=" << iter << ", " << IterAnnotationName(annotation)
+         << ")";
+      break;
+    case StepKind::kPragma:
+      os << "pragma(" << stage << ", auto_unroll_max_step=" << pragma_value << ")";
+      break;
+  }
+  return os.str();
+}
+
+Step MakeSplitStep(const std::string& stage, int iter, std::vector<int64_t> lengths) {
+  Step s;
+  s.kind = StepKind::kSplit;
+  s.stage = stage;
+  s.iter = iter;
+  s.lengths = std::move(lengths);
+  return s;
+}
+
+Step MakeFollowSplitStep(const std::string& stage, int iter, int src_step, int n_parts) {
+  Step s;
+  s.kind = StepKind::kFollowSplit;
+  s.stage = stage;
+  s.iter = iter;
+  s.src_step = src_step;
+  s.n_parts = n_parts;
+  return s;
+}
+
+Step MakeFuseStep(const std::string& stage, int iter, int fuse_count) {
+  Step s;
+  s.kind = StepKind::kFuse;
+  s.stage = stage;
+  s.iter = iter;
+  s.fuse_count = fuse_count;
+  return s;
+}
+
+Step MakeReorderStep(const std::string& stage, std::vector<int> order) {
+  Step s;
+  s.kind = StepKind::kReorder;
+  s.stage = stage;
+  s.order = std::move(order);
+  return s;
+}
+
+Step MakeComputeAtStep(const std::string& stage, const std::string& target_stage,
+                       int target_iter) {
+  Step s;
+  s.kind = StepKind::kComputeAt;
+  s.stage = stage;
+  s.target_stage = target_stage;
+  s.target_iter = target_iter;
+  return s;
+}
+
+Step MakeComputeInlineStep(const std::string& stage) {
+  Step s;
+  s.kind = StepKind::kComputeInline;
+  s.stage = stage;
+  return s;
+}
+
+Step MakeComputeRootStep(const std::string& stage) {
+  Step s;
+  s.kind = StepKind::kComputeRoot;
+  s.stage = stage;
+  return s;
+}
+
+Step MakeCacheWriteStep(const std::string& stage) {
+  Step s;
+  s.kind = StepKind::kCacheWrite;
+  s.stage = stage;
+  return s;
+}
+
+Step MakeRfactorStep(const std::string& stage, int iter) {
+  Step s;
+  s.kind = StepKind::kRfactor;
+  s.stage = stage;
+  s.iter = iter;
+  return s;
+}
+
+Step MakeAnnotationStep(const std::string& stage, int iter, IterAnnotation ann) {
+  Step s;
+  s.kind = StepKind::kAnnotation;
+  s.stage = stage;
+  s.iter = iter;
+  s.annotation = ann;
+  return s;
+}
+
+Step MakePragmaStep(const std::string& stage, int auto_unroll_max_step) {
+  Step s;
+  s.kind = StepKind::kPragma;
+  s.stage = stage;
+  s.pragma_value = auto_unroll_max_step;
+  return s;
+}
+
+}  // namespace ansor

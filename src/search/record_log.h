@@ -1,0 +1,69 @@
+// Tuning-record serialization: persistent logs of (program, measurement)
+// pairs, mirroring TVM auto_scheduler's record files.
+//
+// Records let users resume tuning, apply the best found schedule without
+// re-searching, and share results between machines. The format is one record
+// per line:
+//
+//   task=<hex hash>|seconds=<float>|steps=<step>;<step>;...
+//
+// Steps serialize to a compact textual form that round-trips through
+// ParseStep; programs are reconstructed by replaying the steps onto the
+// task's ComputeDAG.
+#ifndef ANSOR_SRC_SEARCH_RECORD_LOG_H_
+#define ANSOR_SRC_SEARCH_RECORD_LOG_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ir/state.h"
+
+namespace ansor {
+
+struct TuningRecord {
+  uint64_t task_id = 0;
+  double seconds = 0.0;
+  std::vector<Step> steps;
+};
+
+// --- Step (de)serialization ---------------------------------------------------
+
+// Compact, lossless textual encoding of one step.
+std::string SerializeStep(const Step& step);
+// Parses a serialized step; returns nullopt on malformed input.
+std::optional<Step> ParseStep(const std::string& text);
+
+// --- Record (de)serialization --------------------------------------------------
+
+std::string SerializeRecord(const TuningRecord& record);
+std::optional<TuningRecord> ParseRecord(const std::string& line);
+
+// In-memory log with file persistence.
+class RecordLog {
+ public:
+  void Add(TuningRecord record) { records_.push_back(std::move(record)); }
+  const std::vector<TuningRecord>& records() const { return records_; }
+
+  // Best (lowest-latency) record for a task; nullopt if none logged.
+  std::optional<TuningRecord> BestFor(uint64_t task_id) const;
+
+  // Replays the best record for the DAG's task id; returns a failed state if
+  // no record exists or replay breaks (e.g. the DAG changed).
+  State ReplayBest(const ComputeDAG* dag) const;
+
+  bool SaveToFile(const std::string& path) const;
+  bool LoadFromFile(const std::string& path);  // appends to current records
+
+  std::string Serialize() const;
+  // Parses a multi-line dump; malformed lines are skipped. Returns the number
+  // of records loaded.
+  size_t Deserialize(const std::string& text);
+
+ private:
+  std::vector<TuningRecord> records_;
+};
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_SEARCH_RECORD_LOG_H_

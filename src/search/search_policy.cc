@@ -1,0 +1,162 @@
+#include "src/search/search_policy.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/support/thread_pool.h"
+
+namespace ansor {
+namespace {
+
+std::string StepSignature(const State& state) {
+  std::string sig;
+  for (const Step& step : state.steps()) {
+    sig += step.ToString();
+    sig += ";";
+  }
+  return sig;
+}
+
+}  // namespace
+
+TaskTuner::TaskTuner(SearchTask task, Measurer* measurer, CostModel* model,
+                     SearchOptions options)
+    : task_(std::move(task)),
+      measurer_(measurer),
+      model_(model),
+      options_(options),
+      rng_(options.seed ^ task_.task_id()) {
+  sketches_ = GenerateSketches(task_.dag.get(), options_.sketch);
+}
+
+std::vector<State> TaskTuner::SampleRandomPrograms(int count) {
+  std::vector<State> result;
+  if (sketches_.empty()) {
+    return result;
+  }
+  int attempts = 0;
+  int max_attempts = count * 8;
+  while (static_cast<int>(result.size()) < count && attempts < max_attempts) {
+    ++attempts;
+    const State& sketch = sketches_[rng_.Index(sketches_.size())];
+    State program = SampleCompleteProgram(sketch, task_.dag.get(), &rng_, options_.sampler);
+    if (!program.failed()) {
+      result.push_back(std::move(program));
+    }
+  }
+  return result;
+}
+
+double TaskTuner::TuneRound(int num_measures) {
+  if (sketches_.empty() || num_measures <= 0) {
+    return best_seconds_;
+  }
+
+  // 1. Candidate generation.
+  std::vector<State> to_measure;
+  std::unordered_set<std::string> picked;
+  auto add_candidate = [&](const State& s) {
+    if (static_cast<int>(to_measure.size()) >= num_measures) {
+      return;
+    }
+    std::string sig = StepSignature(s);
+    if (measured_signatures_.count(sig) > 0) {
+      return;  // already measured in a previous round
+    }
+    if (picked.insert(std::move(sig)).second) {
+      to_measure.push_back(s);
+    }
+  };
+
+  if (options_.enable_fine_tuning) {
+    // Initial population: fresh random samples + best measured programs.
+    std::vector<State> init = SampleRandomPrograms(options_.random_samples_per_round);
+    for (const auto& [seconds, state] : measured_best_) {
+      init.push_back(state);
+    }
+    EvolutionOptions evo;
+    evo.population = options_.population;
+    evo.generations = options_.generations;
+    evo.crossover_probability = options_.crossover_probability;
+    evo.sampler = options_.sampler;
+    EvolutionarySearch evolution(task_.dag.get(), model_, rng_.Fork(), evo);
+    int n_evolved = std::max(1, num_measures - static_cast<int>(options_.eps_random *
+                                                                num_measures));
+    for (const State& s : evolution.Evolve(init, n_evolved)) {
+      add_candidate(s);
+    }
+  }
+  // Epsilon-greedy random exploration (all candidates when fine-tuning is
+  // disabled — the "No fine-tuning" ablation).
+  for (const State& s : SampleRandomPrograms(num_measures)) {
+    add_candidate(s);
+  }
+
+  if (to_measure.empty()) {
+    return best_seconds_;
+  }
+
+  // 2. Measurement on the (simulated) hardware.
+  for (const State& s : to_measure) {
+    measured_signatures_.insert(StepSignature(s));
+  }
+  std::vector<MeasureResult> results = measurer_->MeasureBatch(to_measure);
+  total_measures_ += static_cast<int64_t>(to_measure.size());
+
+  // 3. Update best + training data.
+  std::vector<std::vector<std::vector<float>>> features(to_measure.size());
+  ThreadPool::Global().ParallelFor(to_measure.size(), [&](size_t i) {
+    features[i] = ExtractStateFeatures(to_measure[i]);
+  });
+  std::vector<double> throughputs(to_measure.size(), 0.0);
+  for (size_t i = 0; i < to_measure.size(); ++i) {
+    if (!results[i].valid) {
+      continue;
+    }
+    throughputs[i] = results[i].throughput;
+    if (results[i].seconds < best_seconds_) {
+      best_seconds_ = results[i].seconds;
+      best_throughput_ = results[i].throughput;
+      best_state_ = to_measure[i];
+      best_state_->RetainDag(task_.dag);
+    }
+    measured_best_.emplace_back(results[i].seconds, to_measure[i]);
+    if (options_.record_log != nullptr) {
+      TuningRecord record;
+      record.task_id = task_.task_id();
+      record.seconds = results[i].seconds;
+      record.steps = to_measure[i].steps();
+      options_.record_log->Add(std::move(record));
+    }
+  }
+  std::sort(measured_best_.begin(), measured_best_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (measured_best_.size() > 16) {
+    measured_best_.resize(16);
+  }
+
+  if (options_.enable_fine_tuning) {
+    model_->Update(task_.task_id(), features, throughputs);
+  }
+  history_.emplace_back(total_measures_, best_seconds_);
+  return best_seconds_;
+}
+
+TuneResult TuneTask(const SearchTask& task, Measurer* measurer, CostModel* model,
+                    int num_measure_trials, int measures_per_round, SearchOptions options) {
+  TaskTuner tuner(task, measurer, model, options);
+  int done = 0;
+  while (done < num_measure_trials) {
+    int batch = std::min(measures_per_round, num_measure_trials - done);
+    tuner.TuneRound(batch);
+    done += batch;
+  }
+  TuneResult result;
+  result.best_seconds = tuner.best_seconds();
+  result.best_throughput = tuner.best_throughput();
+  result.best_state = tuner.best_state();
+  result.history = tuner.history();
+  return result;
+}
+
+}  // namespace ansor

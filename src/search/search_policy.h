@@ -1,0 +1,128 @@
+// The Ansor search policy (paper Fig. 4, §4-§5).
+//
+// One tuning round: sample fresh random programs from the sketches, mix in
+// the best measured programs so far as the evolutionary initial population,
+// evolve against the learned cost model, measure the top candidates (with an
+// epsilon fraction of purely random programs for exploration), and retrain
+// the model on the new measurements.
+#ifndef ANSOR_SRC_SEARCH_SEARCH_POLICY_H_
+#define ANSOR_SRC_SEARCH_SEARCH_POLICY_H_
+
+#include <memory>
+#include <unordered_set>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/evolution/evolution.h"
+#include "src/hwsim/measurer.h"
+#include "src/search/record_log.h"
+#include "src/sketch/sketch.h"
+
+namespace ansor {
+
+// A tuning task: one subgraph to optimize (paper §6: "We define a task as a
+// process performed to generate high-performance programs for a subgraph").
+// The DAG is shared so that program states escaping the tuner (best programs
+// in results) keep it alive.
+struct SearchTask {
+  std::string name;
+  std::shared_ptr<const ComputeDAG> dag;
+  // Number of appearances of this subgraph in its DNN(s) (the weight w_i).
+  int weight = 1;
+  // Structural similarity tag (same-tag tasks inform each other's gradient
+  // estimate via the beta term of §6.2).
+  std::string tag;
+
+  uint64_t task_id() const { return dag->CanonicalHash(); }
+  double flop_count() const { return dag->FlopCount(); }
+};
+
+inline SearchTask MakeSearchTask(std::string name, ComputeDAG dag, int weight = 1,
+                                 std::string tag = "") {
+  SearchTask task;
+  task.name = std::move(name);
+  task.dag = std::make_shared<const ComputeDAG>(std::move(dag));
+  task.weight = weight;
+  task.tag = std::move(tag);
+  return task;
+}
+
+struct SearchOptions {
+  int population = 64;
+  int generations = 3;
+  // Probability of producing offspring by node-based crossover instead of
+  // mutation (0 disables crossover).
+  double crossover_probability = 0.25;
+  // Fraction of each measured batch drawn from random sampling instead of
+  // evolution (epsilon-greedy exploration).
+  double eps_random = 0.1;
+  int random_samples_per_round = 24;  // fresh samples seeding each round
+  uint64_t seed = 42;
+  SamplerOptions sampler;
+  SketchOptions sketch;
+  // Ablations (§7.1 Fig. 7): disable the evolutionary fine-tuning ("No
+  // fine-tuning": random sampling only).
+  bool enable_fine_tuning = true;
+  // When set, every valid measurement is appended here (resume / share /
+  // apply-without-search workflows). Not owned.
+  RecordLog* record_log = nullptr;
+};
+
+// Per-task tuner holding search state across rounds so the task scheduler can
+// interleave tasks (paper §6: one round == "one unit of time resources").
+class TaskTuner {
+ public:
+  TaskTuner(SearchTask task, Measurer* measurer, CostModel* model,
+            SearchOptions options = SearchOptions());
+
+  // Runs one tuning round with a budget of `num_measures` measurement trials.
+  // Returns the best latency (seconds) found so far; infinity until a valid
+  // program is measured.
+  double TuneRound(int num_measures);
+
+  const SearchTask& task() const { return task_; }
+  double best_seconds() const { return best_seconds_; }
+  double best_throughput() const { return best_throughput_; }
+  const std::optional<State>& best_state() const { return best_state_; }
+  int64_t total_measures() const { return total_measures_; }
+  // (cumulative trial count, best seconds) after each round.
+  const std::vector<std::pair<int64_t, double>>& history() const { return history_; }
+
+ private:
+  std::vector<State> SampleRandomPrograms(int count);
+
+  SearchTask task_;
+  Measurer* measurer_;
+  CostModel* model_;
+  SearchOptions options_;
+  Rng rng_;
+  std::vector<State> sketches_;
+  // Best measured programs (population seed for the next round).
+  std::vector<std::pair<double, State>> measured_best_;
+  double best_seconds_ = std::numeric_limits<double>::infinity();
+  double best_throughput_ = 0.0;
+  std::optional<State> best_state_;
+  int64_t total_measures_ = 0;
+  std::vector<std::pair<int64_t, double>> history_;
+  // Signatures of already-measured programs: never burn a trial twice on the
+  // same program (mirrors TVM's measured-state dedup).
+  std::unordered_set<std::string> measured_signatures_;
+};
+
+struct TuneResult {
+  double best_seconds = std::numeric_limits<double>::infinity();
+  double best_throughput = 0.0;
+  std::optional<State> best_state;
+  std::vector<std::pair<int64_t, double>> history;
+};
+
+// Tunes a single task for `num_measure_trials` trials in rounds of
+// `measures_per_round`.
+TuneResult TuneTask(const SearchTask& task, Measurer* measurer, CostModel* model,
+                    int num_measure_trials, int measures_per_round = 16,
+                    SearchOptions options = SearchOptions());
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_SEARCH_SEARCH_POLICY_H_

@@ -1,0 +1,71 @@
+#include "src/support/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace ansor {
+namespace {
+
+std::atomic<int> g_log_level{[] {
+  const char* env = std::getenv("ANSOR_LOG_LEVEL");
+  if (env != nullptr && std::strlen(env) > 0) {
+    int v = std::atoi(env);
+    if (v >= 0 && v <= 4) {
+      return v;
+    }
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}()};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARNING";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "UNKNOWN";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel GlobalLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+
+void SetGlobalLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
+
+namespace log_internal {
+
+LogMessage::LogMessage(const char* file, int line, LogLevel level) : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) >= g_log_level.load()) {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+  }
+}
+
+LogMessageFatal::LogMessageFatal(const char* file, int line) {
+  stream_ << "[FATAL " << Basename(file) << ":" << line << "] ";
+}
+
+LogMessageFatal::~LogMessageFatal() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  std::abort();
+}
+
+}  // namespace log_internal
+}  // namespace ansor

@@ -1,0 +1,91 @@
+// Lightweight logging and checking macros used throughout the library.
+//
+// We follow the Google style convention of aborting on violated invariants
+// (CHECK) instead of throwing exceptions. LOG(level) writes a line to stderr.
+#ifndef ANSOR_SRC_SUPPORT_LOGGING_H_
+#define ANSOR_SRC_SUPPORT_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ansor {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Process-wide minimum level for emitted log lines. Defaults to kInfo;
+// override with the ANSOR_LOG_LEVEL environment variable (0-4).
+LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel level);
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogLevel level);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+  LogLevel level_;
+};
+
+// Fatal variant: prints and aborts in the destructor.
+class LogMessageFatal {
+ public:
+  LogMessageFatal(const char* file, int line);
+  [[noreturn]] ~LogMessageFatal();
+
+  LogMessageFatal(const LogMessageFatal&) = delete;
+  LogMessageFatal& operator=(const LogMessageFatal&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out.
+struct LogSink {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace log_internal
+
+#define ANSOR_LOG_DEBUG \
+  ::ansor::log_internal::LogMessage(__FILE__, __LINE__, ::ansor::LogLevel::kDebug).stream()
+#define ANSOR_LOG_INFO \
+  ::ansor::log_internal::LogMessage(__FILE__, __LINE__, ::ansor::LogLevel::kInfo).stream()
+#define ANSOR_LOG_WARNING \
+  ::ansor::log_internal::LogMessage(__FILE__, __LINE__, ::ansor::LogLevel::kWarning).stream()
+#define ANSOR_LOG_ERROR \
+  ::ansor::log_internal::LogMessage(__FILE__, __LINE__, ::ansor::LogLevel::kError).stream()
+#define ANSOR_LOG_FATAL \
+  ::ansor::log_internal::LogMessageFatal(__FILE__, __LINE__).stream()
+
+#define LOG(severity) ANSOR_LOG_##severity
+
+#define CHECK(cond)                                                      \
+  if (!(cond)) ::ansor::log_internal::LogMessageFatal(__FILE__, __LINE__).stream() \
+      << "Check failed: " #cond " "
+
+#define CHECK_BINARY_OP(name, op, a, b)                                       \
+  if (!((a)op(b))) ::ansor::log_internal::LogMessageFatal(__FILE__, __LINE__).stream() \
+      << "Check failed: " #a " " #op " " #b " (" << (a) << " vs " << (b) << ") "
+
+#define CHECK_EQ(a, b) CHECK_BINARY_OP(EQ, ==, a, b)
+#define CHECK_NE(a, b) CHECK_BINARY_OP(NE, !=, a, b)
+#define CHECK_LT(a, b) CHECK_BINARY_OP(LT, <, a, b)
+#define CHECK_LE(a, b) CHECK_BINARY_OP(LE, <=, a, b)
+#define CHECK_GT(a, b) CHECK_BINARY_OP(GT, >, a, b)
+#define CHECK_GE(a, b) CHECK_BINARY_OP(GE, >=, a, b)
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_SUPPORT_LOGGING_H_

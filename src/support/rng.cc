@@ -1,0 +1,36 @@
+#include "src/support/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ansor {
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    CHECK_GE(w, 0.0);
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Index(weights.size());
+  }
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) {
+      return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  Shuffle(&perm);
+  return perm;
+}
+
+}  // namespace ansor

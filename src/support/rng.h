@@ -1,0 +1,72 @@
+// Deterministic random number generation utilities.
+//
+// All randomized components in the library (program sampler, evolutionary
+// search, cost-model training, simulated measurement noise) draw from an
+// explicitly seeded Rng instance so that runs are reproducible.
+#ifndef ANSOR_SRC_SUPPORT_RNG_H_
+#define ANSOR_SRC_SUPPORT_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "src/support/logging.h"
+
+namespace ansor {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Int(int64_t lo, int64_t hi) {
+    CHECK_LE(lo, hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform real in [0, 1).
+  double Uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  // Uniform real in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  bool Bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  // Uniformly picks an index into a container of the given size.
+  size_t Index(size_t size) {
+    CHECK_GT(size, 0u);
+    return static_cast<size_t>(Int(0, static_cast<int64_t>(size) - 1));
+  }
+
+  // Picks an index according to non-negative weights (roulette selection).
+  // Falls back to uniform choice when all weights are zero.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Returns a random permutation of {0, ..., n - 1}.
+  std::vector<size_t> Permutation(size_t n);
+
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+  // Derives an independent child generator; used to hand deterministic
+  // sub-streams to worker threads.
+  Rng Fork() { return Rng(engine_()); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_SUPPORT_RNG_H_

@@ -1,0 +1,92 @@
+#include "src/support/thread_pool.h"
+
+
+#include "src/support/logging.h"
+
+namespace ansor {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (shutdown_ && tasks_.empty()) {
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  // Chunk indices into roughly 4 tasks per worker to balance load without
+  // excessive queue churn.
+  size_t num_chunks = std::min(n, workers_.size() * 4);
+  size_t chunk = (n + num_chunks - 1) / num_chunks;
+  size_t remaining = 0;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  size_t scheduled = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t begin = 0; begin < n; begin += chunk) {
+      size_t end = std::min(n, begin + chunk);
+      ++scheduled;
+      tasks_.push([&, begin, end] {
+        for (size_t i = begin; i < end; ++i) {
+          fn(i);
+        }
+        // The decrement must happen under done_mu: otherwise the waiting
+        // thread can observe remaining == 0, return, and destroy done_mu on
+        // its stack while this worker is still about to lock it.
+        std::lock_guard<std::mutex> done_lock(done_mu);
+        if (--remaining == 0) {
+          done_cv.notify_all();
+        }
+      });
+    }
+    remaining = scheduled;
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> done_lock(done_mu);
+  done_cv.wait(done_lock, [&] { return remaining == 0; });
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace ansor

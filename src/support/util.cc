@@ -1,0 +1,87 @@
+#include "src/support/util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+
+#include "src/support/logging.h"
+
+namespace ansor {
+
+std::vector<int64_t> Divisors(int64_t n) {
+  CHECK_GT(n, 0);
+  std::vector<int64_t> small;
+  std::vector<int64_t> large;
+  for (int64_t d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      small.push_back(d);
+      if (d != n / d) {
+        large.push_back(n / d);
+      }
+    }
+  }
+  small.insert(small.end(), large.rbegin(), large.rend());
+  return small;
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double v : values) {
+    CHECK_GT(v, 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  if (values.size() % 2 == 1) {
+    return values[mid];
+  }
+  double hi = values[mid];
+  double lo = *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+std::string FormatDouble(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+double EnvDouble(const char* name, double default_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') {
+    return default_value;
+  }
+  return std::atof(env);
+}
+
+int64_t EnvInt(const char* name, int64_t default_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') {
+    return default_value;
+  }
+  return std::atoll(env);
+}
+
+}  // namespace ansor

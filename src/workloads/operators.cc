@@ -1,0 +1,323 @@
+#include "src/workloads/operators.h"
+
+#include "src/support/logging.h"
+
+namespace ansor {
+namespace {
+
+int64_t ConvOut(int64_t size, int64_t kernel, int64_t stride, int64_t pad,
+                int64_t dilation = 1) {
+  return (size + 2 * pad - dilation * (kernel - 1) - 1) / stride + 1;
+}
+
+// Zero-padding stage: pad[n, c, y, x] = in bounds ? data[n, c, y-p, x-p] : 0.
+Tensor Pad2d(const Tensor& data, int64_t pad) {
+  const auto& s = data.shape();
+  return Compute("pad", {s[0], s[1], s[2] + 2 * pad, s[3] + 2 * pad},
+                 [&](const std::vector<Expr>& i) {
+                   Expr cond = (i[2] >= IntImm(pad)) && (i[2] < IntImm(s[2] + pad)) &&
+                               (i[3] >= IntImm(pad)) && (i[3] < IntImm(s[3] + pad));
+                   return Select(cond,
+                                 data(i[0], i[1], i[2] - IntImm(pad), i[3] - IntImm(pad)),
+                                 FloatImm(0.0));
+                 });
+}
+
+}  // namespace
+
+ComputeDAG MakeConv1d(int64_t n, int64_t ci, int64_t l, int64_t co, int64_t kernel,
+                      int64_t stride, int64_t pad) {
+  Tensor data = Placeholder("data", {n, ci, l});
+  Tensor weight = ConstantPlaceholder("weight", {co, ci, kernel});
+  std::vector<Tensor> tensors = {data, weight};
+  Tensor input = data;
+  if (pad > 0) {
+    input = Compute("pad", {n, ci, l + 2 * pad}, [&](const std::vector<Expr>& i) {
+      Expr cond = (i[2] >= IntImm(pad)) && (i[2] < IntImm(l + pad));
+      return Select(cond, data(i[0], i[1], i[2] - IntImm(pad)), FloatImm(0.0));
+    });
+    tensors.push_back(input);
+  }
+  int64_t lo = ConvOut(l, kernel, stride, pad);
+  Tensor out = Compute("conv1d", {n, co, lo}, [&](const std::vector<Expr>& i) {
+    Expr rc = ReduceAxis(ci, "rc");
+    Expr rk = ReduceAxis(kernel, "rk");
+    return Sum(input(i[0], rc, i[2] * IntImm(stride) + rk) * weight(i[1], rc, rk),
+               {rc, rk});
+  });
+  tensors.push_back(out);
+  return ComputeDAG(tensors);
+}
+
+ComputeDAG MakeConv2d(int64_t n, int64_t ci, int64_t h, int64_t w, int64_t co, int64_t kh,
+                      int64_t kw, int64_t stride, int64_t pad, int64_t dilation,
+                      int64_t groups) {
+  CHECK_EQ(ci % groups, 0);
+  CHECK_EQ(co % groups, 0);
+  int64_t cig = ci / groups;
+  int64_t cog = co / groups;
+  Tensor data = Placeholder("data", {n, ci, h, w});
+  Tensor weight = ConstantPlaceholder("weight", {co, cig, kh, kw});
+  std::vector<Tensor> tensors = {data, weight};
+  Tensor input = data;
+  if (pad > 0) {
+    input = Pad2d(data, pad);
+    tensors.push_back(input);
+  }
+  int64_t ho = ConvOut(h, kh, stride, pad, dilation);
+  int64_t wo = ConvOut(w, kw, stride, pad, dilation);
+  Tensor out = Compute("conv2d", {n, co, ho, wo}, [&](const std::vector<Expr>& i) {
+    Expr rc = ReduceAxis(cig, "rc");
+    Expr ry = ReduceAxis(kh, "ry");
+    Expr rx = ReduceAxis(kw, "rx");
+    Expr channel = groups == 1
+                       ? Expr(rc)
+                       : (i[1] / IntImm(cog)) * IntImm(cig) + rc;
+    return Sum(input(i[0], channel, i[2] * IntImm(stride) + Expr(ry) * IntImm(dilation),
+                     i[3] * IntImm(stride) + Expr(rx) * IntImm(dilation)) *
+                   weight(i[1], rc, ry, rx),
+               {rc, ry, rx});
+  });
+  tensors.push_back(out);
+  return ComputeDAG(tensors);
+}
+
+ComputeDAG MakeConv3d(int64_t n, int64_t ci, int64_t d, int64_t h, int64_t w, int64_t co,
+                      int64_t kd, int64_t kh, int64_t kw, int64_t stride, int64_t pad) {
+  Tensor data = Placeholder("data", {n, ci, d, h, w});
+  Tensor weight = ConstantPlaceholder("weight", {co, ci, kd, kh, kw});
+  std::vector<Tensor> tensors = {data, weight};
+  Tensor input = data;
+  if (pad > 0) {
+    input = Compute(
+        "pad", {n, ci, d + 2 * pad, h + 2 * pad, w + 2 * pad},
+        [&](const std::vector<Expr>& i) {
+          Expr cond = (i[2] >= IntImm(pad)) && (i[2] < IntImm(d + pad)) &&
+                      (i[3] >= IntImm(pad)) && (i[3] < IntImm(h + pad)) &&
+                      (i[4] >= IntImm(pad)) && (i[4] < IntImm(w + pad));
+          return Select(cond,
+                        data(i[0], i[1], i[2] - IntImm(pad), i[3] - IntImm(pad),
+                             i[4] - IntImm(pad)),
+                        FloatImm(0.0));
+        });
+    tensors.push_back(input);
+  }
+  int64_t do_ = ConvOut(d, kd, stride, pad);
+  int64_t ho = ConvOut(h, kh, stride, pad);
+  int64_t wo = ConvOut(w, kw, stride, pad);
+  Tensor out = Compute("conv3d", {n, co, do_, ho, wo}, [&](const std::vector<Expr>& i) {
+    Expr rc = ReduceAxis(ci, "rc");
+    Expr rz = ReduceAxis(kd, "rz");
+    Expr ry = ReduceAxis(kh, "ry");
+    Expr rx = ReduceAxis(kw, "rx");
+    return Sum(input(i[0], rc, i[2] * IntImm(stride) + rz, i[3] * IntImm(stride) + ry,
+                     i[4] * IntImm(stride) + rx) *
+                   weight(i[1], rc, rz, ry, rx),
+               {rc, rz, ry, rx});
+  });
+  tensors.push_back(out);
+  return ComputeDAG(tensors);
+}
+
+ComputeDAG MakeDepthwiseConv2d(int64_t n, int64_t c, int64_t h, int64_t w, int64_t kh,
+                               int64_t kw, int64_t stride, int64_t pad) {
+  Tensor data = Placeholder("data", {n, c, h, w});
+  Tensor weight = ConstantPlaceholder("weight", {c, kh, kw});
+  std::vector<Tensor> tensors = {data, weight};
+  Tensor input = data;
+  if (pad > 0) {
+    input = Pad2d(data, pad);
+    tensors.push_back(input);
+  }
+  int64_t ho = ConvOut(h, kh, stride, pad);
+  int64_t wo = ConvOut(w, kw, stride, pad);
+  Tensor out = Compute("dwconv2d", {n, c, ho, wo}, [&](const std::vector<Expr>& i) {
+    Expr ry = ReduceAxis(kh, "ry");
+    Expr rx = ReduceAxis(kw, "rx");
+    return Sum(input(i[0], i[1], i[2] * IntImm(stride) + ry, i[3] * IntImm(stride) + rx) *
+                   weight(i[1], ry, rx),
+               {ry, rx});
+  });
+  tensors.push_back(out);
+  return ComputeDAG(tensors);
+}
+
+ComputeDAG MakeTransposedConv2d(int64_t n, int64_t ci, int64_t h, int64_t w, int64_t co,
+                                int64_t kh, int64_t kw, int64_t stride, int64_t pad) {
+  // out[n, co, y, x] = sum_{ci, ky, kx} sel((y+p-ky) % s == 0 && in bounds,
+  //     data[n, ci, (y+p-ky)/s, (x+p-kx)/s], 0) * weight[ci, co, ky, kx]
+  Tensor data = Placeholder("data", {n, ci, h, w});
+  Tensor weight = ConstantPlaceholder("weight", {ci, co, kh, kw});
+  int64_t ho = (h - 1) * stride - 2 * pad + kh;
+  int64_t wo = (w - 1) * stride - 2 * pad + kw;
+  Tensor out = Compute("t2d", {n, co, ho, wo}, [&](const std::vector<Expr>& i) {
+    Expr rc = ReduceAxis(ci, "rc");
+    Expr ry = ReduceAxis(kh, "ry");
+    Expr rx = ReduceAxis(kw, "rx");
+    Expr ys = i[2] + IntImm(pad) - ry;
+    Expr xs = i[3] + IntImm(pad) - rx;
+    Expr cond = (ys % IntImm(stride) == IntImm(0)) && (xs % IntImm(stride) == IntImm(0)) &&
+                (ys >= IntImm(0)) && (ys < IntImm(h * stride)) && (xs >= IntImm(0)) &&
+                (xs < IntImm(w * stride));
+    Expr value = data(i[0], rc, Min(Max(ys / IntImm(stride), IntImm(0)), IntImm(h - 1)),
+                      Min(Max(xs / IntImm(stride), IntImm(0)), IntImm(w - 1))) *
+                 weight(rc, i[1], ry, rx);
+    return Sum(Select(cond, value, FloatImm(0.0)), {rc, ry, rx});
+  });
+  return ComputeDAG({data, weight, out});
+}
+
+ComputeDAG MakeCapsuleConv2d(int64_t n, int64_t ci, int64_t h, int64_t w, int64_t co,
+                             int64_t kh, int64_t kw, int64_t stride, int64_t pad,
+                             int64_t capsule) {
+  // NHWC layout with 4x4 pose matrices (capsule conv2d of [21]).
+  Tensor data = Placeholder("data", {n, h + 2 * pad, w + 2 * pad, ci, capsule, capsule});
+  Tensor weight = ConstantPlaceholder("weight", {kh, kw, ci, co, capsule, capsule});
+  int64_t ho = ConvOut(h, kh, stride, pad);
+  int64_t wo = ConvOut(w, kw, stride, pad);
+  Tensor out = Compute(
+      "capsule", {n, ho, wo, co, capsule, capsule}, [&](const std::vector<Expr>& i) {
+        Expr ry = ReduceAxis(kh, "ry");
+        Expr rx = ReduceAxis(kw, "rx");
+        Expr rc = ReduceAxis(ci, "rc");
+        Expr rcap = ReduceAxis(capsule, "rcap");
+        return Sum(data(i[0], i[1] * IntImm(stride) + ry, i[2] * IntImm(stride) + rx, rc,
+                        i[4], rcap) *
+                       weight(ry, rx, rc, i[3], rcap, i[5]),
+                   {ry, rx, rc, rcap});
+      });
+  return ComputeDAG({data, weight, out});
+}
+
+ComputeDAG MakeMatmul(int64_t n, int64_t m, int64_t k, int64_t b) {
+  if (b == 1) {
+    Tensor a = Placeholder("A", {n, k});
+    Tensor bb = Placeholder("B", {k, m});
+    Tensor c = Compute("matmul", {n, m}, [&](const std::vector<Expr>& i) {
+      Expr r = ReduceAxis(k, "k");
+      return Sum(a(i[0], r) * bb(r, i[1]), {r});
+    });
+    return ComputeDAG({a, bb, c});
+  }
+  Tensor a = Placeholder("A", {b, n, k});
+  Tensor bb = Placeholder("B", {b, k, m});
+  Tensor c = Compute("batch_matmul", {b, n, m}, [&](const std::vector<Expr>& i) {
+    Expr r = ReduceAxis(k, "k");
+    return Sum(a(i[0], i[1], r) * bb(i[0], r, i[2]), {r});
+  });
+  return ComputeDAG({a, bb, c});
+}
+
+ComputeDAG MakeNorm(int64_t b, int64_t n) {
+  Tensor a = Placeholder("A", {b, n});
+  Tensor sq = Compute("sqsum", {b}, [&](const std::vector<Expr>& i) {
+    Expr r = ReduceAxis(n, "k");
+    return Sum(a(i[0], r) * a(i[0], r), {r});
+  });
+  Tensor out = Compute("norm", {b}, [&](const std::vector<Expr>& i) {
+    return CallIntrinsic(Intrinsic::kSqrt, {sq(i[0])});
+  });
+  return ComputeDAG({a, sq, out});
+}
+
+ComputeDAG MakeConvLayer(int64_t n, int64_t ci, int64_t h, int64_t w, int64_t co,
+                         int64_t kh, int64_t kw, int64_t stride, int64_t pad) {
+  Tensor data = Placeholder("data", {n, ci, h, w});
+  Tensor weight = ConstantPlaceholder("weight", {co, ci, kh, kw});
+  Tensor scale = ConstantPlaceholder("bn_scale", {co});
+  Tensor shift = ConstantPlaceholder("bn_shift", {co});
+  std::vector<Tensor> tensors = {data, weight, scale, shift};
+  Tensor input = data;
+  if (pad > 0) {
+    input = Pad2d(data, pad);
+    tensors.push_back(input);
+  }
+  int64_t ho = ConvOut(h, kh, stride, pad);
+  int64_t wo = ConvOut(w, kw, stride, pad);
+  Tensor conv = Compute("conv2d", {n, co, ho, wo}, [&](const std::vector<Expr>& i) {
+    Expr rc = ReduceAxis(ci, "rc");
+    Expr ry = ReduceAxis(kh, "ry");
+    Expr rx = ReduceAxis(kw, "rx");
+    return Sum(input(i[0], rc, i[2] * IntImm(stride) + ry, i[3] * IntImm(stride) + rx) *
+                   weight(i[1], rc, ry, rx),
+               {rc, ry, rx});
+  });
+  tensors.push_back(conv);
+  // Inference batch norm folds to scale + shift; then ReLU.
+  Tensor bn = Compute("bn", {n, co, ho, wo}, [&](const std::vector<Expr>& i) {
+    return conv(i[0], i[1], i[2], i[3]) * scale(i[1]) + shift(i[1]);
+  });
+  tensors.push_back(bn);
+  Tensor relu = Compute("relu", {n, co, ho, wo}, [&](const std::vector<Expr>& i) {
+    return Max(bn(i[0], i[1], i[2], i[3]), FloatImm(0.0));
+  });
+  tensors.push_back(relu);
+  return ComputeDAG(tensors);
+}
+
+ComputeDAG MakeTBG(int64_t batch, int64_t seq, int64_t heads, int64_t dim) {
+  // Q, K: [batch, seq, heads, dim]; out[b, h, i, j] = sum_d Q'[...] * K'[...].
+  Tensor q = Placeholder("Q", {batch, seq, heads, dim});
+  Tensor k = Placeholder("K", {batch, seq, heads, dim});
+  Tensor qt = Compute("Qt", {batch, heads, seq, dim}, [&](const std::vector<Expr>& i) {
+    return q(i[0], i[2], i[1], i[3]);
+  });
+  Tensor kt = Compute("Kt", {batch, heads, dim, seq}, [&](const std::vector<Expr>& i) {
+    return k(i[0], i[3], i[1], i[2]);
+  });
+  Tensor out = Compute("tbg", {batch, heads, seq, seq}, [&](const std::vector<Expr>& i) {
+    Expr r = ReduceAxis(dim, "d");
+    return Sum(qt(i[0], i[1], i[2], r) * kt(i[0], i[1], r, i[3]), {r});
+  });
+  return ComputeDAG({q, k, qt, kt, out});
+}
+
+ComputeDAG MakeDense(int64_t batch, int64_t in_dim, int64_t out_dim) {
+  Tensor a = Placeholder("data", {batch, in_dim});
+  Tensor w = ConstantPlaceholder("weight", {out_dim, in_dim});
+  Tensor bias = ConstantPlaceholder("bias", {out_dim});
+  Tensor mm = Compute("dense", {batch, out_dim}, [&](const std::vector<Expr>& i) {
+    Expr r = ReduceAxis(in_dim, "k");
+    return Sum(a(i[0], r) * w(i[1], r), {r});
+  });
+  Tensor out = Compute("bias_relu", {batch, out_dim}, [&](const std::vector<Expr>& i) {
+    return Max(mm(i[0], i[1]) + bias(i[1]), FloatImm(0.0));
+  });
+  return ComputeDAG({a, w, bias, mm, out});
+}
+
+ComputeDAG MakeMaxPool2d(int64_t n, int64_t c, int64_t h, int64_t w, int64_t kernel,
+                         int64_t stride) {
+  Tensor data = Placeholder("data", {n, c, h, w});
+  int64_t ho = (h - kernel) / stride + 1;
+  int64_t wo = (w - kernel) / stride + 1;
+  Tensor out = Compute("maxpool", {n, c, ho, wo}, [&](const std::vector<Expr>& i) {
+    Expr ry = ReduceAxis(kernel, "ry");
+    Expr rx = ReduceAxis(kernel, "rx");
+    return MaxReduce(data(i[0], i[1], i[2] * IntImm(stride) + ry,
+                          i[3] * IntImm(stride) + rx),
+                     {ry, rx});
+  });
+  return ComputeDAG({data, out});
+}
+
+ComputeDAG MakeSoftmax(int64_t rows, int64_t cols) {
+  Tensor data = Placeholder("data", {rows, cols});
+  Tensor row_max = Compute("row_max", {rows}, [&](const std::vector<Expr>& i) {
+    Expr k = ReduceAxis(cols, "k");
+    return MaxReduce(data(i[0], k), {k});
+  });
+  Tensor exps = Compute("exps", {rows, cols}, [&](const std::vector<Expr>& i) {
+    return CallIntrinsic(Intrinsic::kExp, {data(i[0], i[1]) - row_max(i[0])});
+  });
+  Tensor row_sum = Compute("row_sum", {rows}, [&](const std::vector<Expr>& i) {
+    Expr k = ReduceAxis(cols, "k");
+    return Sum(exps(i[0], k), {k});
+  });
+  Tensor out = Compute("softmax", {rows, cols}, [&](const std::vector<Expr>& i) {
+    return exps(i[0], i[1]) / row_sum(i[0]);
+  });
+  return ComputeDAG({data, row_max, exps, row_sum, out});
+}
+
+}  // namespace ansor

@@ -1,0 +1,70 @@
+// Computation definitions for every operator in the paper's evaluation
+// (§7.1): C1D, C2D, C3D, GMM, GRP, DIL, DEP, T2D, CAP, NRM, plus the
+// subgraphs of §7.2 (ConvLayer = conv2d+bn+relu, TBG = transpose ×2 + batch
+// matmul) and dense layers for BERT.
+//
+// Layout conventions: NCHW activations, OIHW weights, float32.
+#ifndef ANSOR_SRC_WORKLOADS_OPERATORS_H_
+#define ANSOR_SRC_WORKLOADS_OPERATORS_H_
+
+#include "src/dag/compute_dag.h"
+
+namespace ansor {
+
+// 1D convolution (C1D).
+ComputeDAG MakeConv1d(int64_t n, int64_t ci, int64_t l, int64_t co, int64_t kernel,
+                      int64_t stride, int64_t pad);
+
+// 2D convolution (C2D); dilation > 1 gives DIL, groups > 1 gives GRP.
+ComputeDAG MakeConv2d(int64_t n, int64_t ci, int64_t h, int64_t w, int64_t co, int64_t kh,
+                      int64_t kw, int64_t stride, int64_t pad, int64_t dilation = 1,
+                      int64_t groups = 1);
+
+// 3D convolution (C3D).
+ComputeDAG MakeConv3d(int64_t n, int64_t ci, int64_t d, int64_t h, int64_t w, int64_t co,
+                      int64_t kd, int64_t kh, int64_t kw, int64_t stride, int64_t pad);
+
+// Depthwise 2D convolution (DEP).
+ComputeDAG MakeDepthwiseConv2d(int64_t n, int64_t c, int64_t h, int64_t w, int64_t kh,
+                               int64_t kw, int64_t stride, int64_t pad);
+
+// Transposed 2D convolution (T2D) — the strided generator convolution of
+// DCGAN; its inner select zeroes out (s-1)/s of the multiplies, which a good
+// schedule removes by unrolling (§7.1).
+ComputeDAG MakeTransposedConv2d(int64_t n, int64_t ci, int64_t h, int64_t w, int64_t co,
+                                int64_t kh, int64_t kw, int64_t stride, int64_t pad);
+
+// Capsule 2D convolution (CAP): 4x4 pose-matrix convolution.
+ComputeDAG MakeCapsuleConv2d(int64_t n, int64_t ci, int64_t h, int64_t w, int64_t co,
+                             int64_t kh, int64_t kw, int64_t stride, int64_t pad,
+                             int64_t capsule = 4);
+
+// Matrix multiplication (GMM): batched when b > 1.
+ComputeDAG MakeMatmul(int64_t n, int64_t m, int64_t k, int64_t b = 1);
+
+// Matrix 2-norm (NRM): per-row-block 2-norm with one large reduction axis
+// (the rule-6 / rfactor showcase).
+ComputeDAG MakeNorm(int64_t b, int64_t n);
+
+// ConvLayer subgraph (§7.2): conv2d + inference batch-norm + ReLU.
+ComputeDAG MakeConvLayer(int64_t n, int64_t ci, int64_t h, int64_t w, int64_t co,
+                         int64_t kh, int64_t kw, int64_t stride, int64_t pad);
+
+// TBG subgraph (§7.2): transpose + transpose + batch matmul
+// (the multi-head-attention score computation).
+ComputeDAG MakeTBG(int64_t batch, int64_t seq, int64_t heads, int64_t dim);
+
+// Dense layer: matmul + bias + ReLU.
+ComputeDAG MakeDense(int64_t batch, int64_t in_dim, int64_t out_dim);
+
+// 2D max pooling (exercises max-reductions end to end).
+ComputeDAG MakeMaxPool2d(int64_t n, int64_t c, int64_t h, int64_t w, int64_t kernel,
+                         int64_t stride);
+
+// Softmax over the last axis: max-reduce -> exp -> sum-reduce -> normalize
+// (a four-stage DAG chaining both reduction kinds with elementwise stages).
+ComputeDAG MakeSoftmax(int64_t rows, int64_t cols);
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_WORKLOADS_OPERATORS_H_

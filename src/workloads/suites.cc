@@ -1,0 +1,194 @@
+#include "src/workloads/suites.h"
+
+namespace ansor {
+namespace {
+
+SearchTask Task(const std::string& name, ComputeDAG dag, int weight, const std::string& tag) {
+  return MakeSearchTask(name, std::move(dag), weight, tag);
+}
+
+}  // namespace
+
+std::vector<OpBenchCase> SingleOpSuite(int64_t batch) {
+  int64_t n = batch;
+  std::vector<OpBenchCase> suite;
+  // C1D: temporal convolutions from speech/sequence models.
+  suite.push_back({"C1D", "l256c64k3", MakeConv1d(n, 64, 256, 64, 3, 1, 1)});
+  suite.push_back({"C1D", "l128c128k3", MakeConv1d(n, 128, 128, 128, 3, 1, 1)});
+  suite.push_back({"C1D", "l64c256k3s2", MakeConv1d(n, 256, 64, 256, 3, 2, 1)});
+  suite.push_back({"C1D", "l256c32k7", MakeConv1d(n, 32, 256, 32, 7, 1, 3)});
+  // C2D: ResNet-50 layers.
+  suite.push_back({"C2D", "r56c64k3", MakeConv2d(n, 64, 56, 56, 64, 3, 3, 1, 1)});
+  suite.push_back({"C2D", "r28c128k3", MakeConv2d(n, 128, 28, 28, 128, 3, 3, 1, 1)});
+  suite.push_back({"C2D", "r14c256k3", MakeConv2d(n, 256, 14, 14, 256, 3, 3, 1, 1)});
+  suite.push_back({"C2D", "r7c512k3", MakeConv2d(n, 512, 7, 7, 512, 3, 3, 1, 1)});
+  // C3D: 3D-ResNet layers.
+  suite.push_back({"C3D", "d16r28c64", MakeConv3d(n, 64, 16, 28, 28, 64, 3, 3, 3, 1, 1)});
+  suite.push_back({"C3D", "d8r14c128", MakeConv3d(n, 128, 8, 14, 14, 128, 3, 3, 3, 1, 1)});
+  suite.push_back({"C3D", "d4r7c256", MakeConv3d(n, 256, 4, 7, 7, 256, 3, 3, 3, 1, 1)});
+  suite.push_back({"C3D", "d16r28s2", MakeConv3d(n, 64, 16, 28, 28, 128, 3, 3, 3, 2, 1)});
+  // GMM: transformer / classifier matmuls (batched with n).
+  suite.push_back({"GMM", "128x768x768", MakeMatmul(128, 768, 768, n)});
+  suite.push_back({"GMM", "128x3072x768", MakeMatmul(128, 3072, 768, n)});
+  suite.push_back({"GMM", "512x512x512", MakeMatmul(512, 512, 512, n)});
+  suite.push_back({"GMM", "128x768x3072", MakeMatmul(128, 768, 3072, n)});
+  // GRP: grouped convolutions (ResNeXt style).
+  suite.push_back({"GRP", "r28c128g4", MakeConv2d(n, 128, 28, 28, 128, 3, 3, 1, 1, 1, 4)});
+  suite.push_back({"GRP", "r14c256g8", MakeConv2d(n, 256, 14, 14, 256, 3, 3, 1, 1, 1, 8)});
+  suite.push_back({"GRP", "r56c64g4", MakeConv2d(n, 64, 56, 56, 64, 3, 3, 1, 1, 1, 4)});
+  suite.push_back({"GRP", "r7c512g8", MakeConv2d(n, 512, 7, 7, 512, 3, 3, 1, 1, 1, 8)});
+  // DIL: dilated convolutions (semantic segmentation).
+  suite.push_back({"DIL", "r56c64d2", MakeConv2d(n, 64, 56, 56, 64, 3, 3, 1, 2, 2)});
+  suite.push_back({"DIL", "r28c128d2", MakeConv2d(n, 128, 28, 28, 128, 3, 3, 1, 2, 2)});
+  suite.push_back({"DIL", "r14c256d4", MakeConv2d(n, 256, 14, 14, 256, 3, 3, 1, 4, 4)});
+  suite.push_back({"DIL", "r28c128d4", MakeConv2d(n, 128, 28, 28, 128, 3, 3, 1, 4, 4)});
+  // DEP: depthwise convolutions (MobileNet).
+  suite.push_back({"DEP", "r112c32", MakeDepthwiseConv2d(n, 32, 112, 112, 3, 3, 1, 1)});
+  suite.push_back({"DEP", "r56c128", MakeDepthwiseConv2d(n, 128, 56, 56, 3, 3, 1, 1)});
+  suite.push_back({"DEP", "r28c256", MakeDepthwiseConv2d(n, 256, 28, 28, 3, 3, 1, 1)});
+  suite.push_back({"DEP", "r14c512s2", MakeDepthwiseConv2d(n, 512, 14, 14, 3, 3, 2, 1)});
+  // T2D: DCGAN generator layers.
+  suite.push_back({"T2D", "r4c512", MakeTransposedConv2d(n, 512, 4, 4, 256, 4, 4, 2, 1)});
+  suite.push_back({"T2D", "r8c256", MakeTransposedConv2d(n, 256, 8, 8, 128, 4, 4, 2, 1)});
+  suite.push_back({"T2D", "r16c128", MakeTransposedConv2d(n, 128, 16, 16, 64, 4, 4, 2, 1)});
+  suite.push_back({"T2D", "r32c64", MakeTransposedConv2d(n, 64, 32, 32, 3, 4, 4, 2, 1)});
+  // CAP: capsule convolutions.
+  suite.push_back({"CAP", "r14c32", MakeCapsuleConv2d(n, 32, 14, 14, 32, 3, 3, 1, 1)});
+  suite.push_back({"CAP", "r7c64", MakeCapsuleConv2d(n, 64, 7, 7, 64, 3, 3, 1, 1)});
+  suite.push_back({"CAP", "r28c16", MakeCapsuleConv2d(n, 16, 28, 28, 16, 3, 3, 1, 1)});
+  suite.push_back({"CAP", "r14c32s2", MakeCapsuleConv2d(n, 32, 14, 14, 32, 3, 3, 2, 1)});
+  // NRM: matrix 2-norm (reduction-dominated).
+  suite.push_back({"NRM", "b1x65536", MakeNorm(n, 65536)});
+  suite.push_back({"NRM", "b4x16384", MakeNorm(4 * n, 16384)});
+  suite.push_back({"NRM", "b8x4096", MakeNorm(8 * n, 4096)});
+  suite.push_back({"NRM", "b16x1024", MakeNorm(16 * n, 1024)});
+  return suite;
+}
+
+std::vector<OpBenchCase> SubgraphSuite(int64_t batch) {
+  int64_t n = batch;
+  std::vector<OpBenchCase> suite;
+  suite.push_back({"ConvLayer", "r56c64", MakeConvLayer(n, 64, 56, 56, 64, 3, 3, 1, 1)});
+  suite.push_back({"ConvLayer", "r28c128", MakeConvLayer(n, 128, 28, 28, 128, 3, 3, 1, 1)});
+  suite.push_back({"ConvLayer", "r14c256", MakeConvLayer(n, 256, 14, 14, 256, 3, 3, 1, 1)});
+  suite.push_back({"ConvLayer", "r7c512s2", MakeConvLayer(n, 256, 14, 14, 512, 3, 3, 2, 1)});
+  suite.push_back({"TBG", "s128h12d64", MakeTBG(n, 128, 12, 64)});
+  suite.push_back({"TBG", "s64h8d64", MakeTBG(n, 64, 8, 64)});
+  suite.push_back({"TBG", "s256h12d64", MakeTBG(n, 256, 12, 64)});
+  suite.push_back({"TBG", "s128h16d32", MakeTBG(n, 128, 16, 32)});
+  return suite;
+}
+
+NetworkTasks ResNet50Tasks(int64_t batch) {
+  int64_t n = batch;
+  NetworkTasks net;
+  net.name = "ResNet-50";
+  // Representative unique conv layers with occurrence weights (56/28/14/7
+  // stages, 1x1 reduce/expand + 3x3 bottleneck convs + the stem).
+  net.tasks.push_back(
+      Task("stem7x7", MakeConvLayer(n, 3, 224, 224, 64, 7, 7, 2, 3), 1, "conv2d"));
+  net.tasks.push_back(
+      Task("c56_1x1_64", MakeConvLayer(n, 64, 56, 56, 64, 1, 1, 1, 0), 6, "conv2d"));
+  net.tasks.push_back(
+      Task("c56_3x3_64", MakeConvLayer(n, 64, 56, 56, 64, 3, 3, 1, 1), 3, "conv2d"));
+  net.tasks.push_back(
+      Task("c56_1x1_256", MakeConvLayer(n, 64, 56, 56, 256, 1, 1, 1, 0), 4, "conv2d"));
+  net.tasks.push_back(
+      Task("c28_3x3_128", MakeConvLayer(n, 128, 28, 28, 128, 3, 3, 1, 1), 4, "conv2d"));
+  net.tasks.push_back(
+      Task("c28_1x1_512", MakeConvLayer(n, 128, 28, 28, 512, 1, 1, 1, 0), 9, "conv2d"));
+  net.tasks.push_back(
+      Task("c14_3x3_256", MakeConvLayer(n, 256, 14, 14, 256, 3, 3, 1, 1), 6, "conv2d"));
+  net.tasks.push_back(
+      Task("c14_1x1_1024", MakeConvLayer(n, 256, 14, 14, 1024, 1, 1, 1, 0), 13, "conv2d"));
+  net.tasks.push_back(
+      Task("c7_3x3_512", MakeConvLayer(n, 512, 7, 7, 512, 3, 3, 1, 1), 3, "conv2d"));
+  net.tasks.push_back(
+      Task("c7_1x1_2048", MakeConvLayer(n, 512, 7, 7, 2048, 1, 1, 1, 0), 6, "conv2d"));
+  net.tasks.push_back(Task("fc1000", MakeDense(n, 2048, 1000), 1, "dense"));
+  return net;
+}
+
+NetworkTasks MobileNetV2Tasks(int64_t batch) {
+  int64_t n = batch;
+  NetworkTasks net;
+  net.name = "MobileNet-V2";
+  net.tasks.push_back(
+      Task("stem3x3", MakeConvLayer(n, 3, 224, 224, 32, 3, 3, 2, 1), 1, "conv2d"));
+  net.tasks.push_back(
+      Task("dw112c32", MakeDepthwiseConv2d(n, 32, 112, 112, 3, 3, 1, 1), 1, "dwconv"));
+  net.tasks.push_back(
+      Task("pw112_32_16", MakeConvLayer(n, 32, 112, 112, 16, 1, 1, 1, 0), 1, "conv2d"));
+  net.tasks.push_back(
+      Task("pw56_24_144", MakeConvLayer(n, 24, 56, 56, 144, 1, 1, 1, 0), 4, "conv2d"));
+  net.tasks.push_back(
+      Task("dw56c144", MakeDepthwiseConv2d(n, 144, 56, 56, 3, 3, 1, 1), 2, "dwconv"));
+  net.tasks.push_back(
+      Task("pw28_32_192", MakeConvLayer(n, 32, 28, 28, 192, 1, 1, 1, 0), 6, "conv2d"));
+  net.tasks.push_back(
+      Task("dw28c192", MakeDepthwiseConv2d(n, 192, 28, 28, 3, 3, 1, 1), 3, "dwconv"));
+  net.tasks.push_back(
+      Task("pw14_64_384", MakeConvLayer(n, 64, 14, 14, 384, 1, 1, 1, 0), 8, "conv2d"));
+  net.tasks.push_back(
+      Task("dw14c384", MakeDepthwiseConv2d(n, 384, 14, 14, 3, 3, 1, 1), 4, "dwconv"));
+  net.tasks.push_back(
+      Task("pw7_160_960", MakeConvLayer(n, 160, 7, 7, 960, 1, 1, 1, 0), 5, "conv2d"));
+  net.tasks.push_back(
+      Task("dw7c960", MakeDepthwiseConv2d(n, 960, 7, 7, 3, 3, 1, 1), 3, "dwconv"));
+  net.tasks.push_back(Task("fc1000", MakeDense(n, 1280, 1000), 1, "dense"));
+  return net;
+}
+
+NetworkTasks ResNet18_3DTasks(int64_t batch) {
+  int64_t n = batch;
+  NetworkTasks net;
+  net.name = "3D-ResNet-18";
+  net.tasks.push_back(
+      Task("c3d_16r56_64", MakeConv3d(n, 64, 16, 56, 56, 64, 3, 3, 3, 1, 1), 4, "conv3d"));
+  net.tasks.push_back(
+      Task("c3d_8r28_128", MakeConv3d(n, 128, 8, 28, 28, 128, 3, 3, 3, 1, 1), 3, "conv3d"));
+  net.tasks.push_back(
+      Task("c3d_8r28_s2", MakeConv3d(n, 64, 16, 56, 56, 128, 3, 3, 3, 2, 1), 1, "conv3d"));
+  net.tasks.push_back(
+      Task("c3d_4r14_256", MakeConv3d(n, 256, 4, 14, 14, 256, 3, 3, 3, 1, 1), 3, "conv3d"));
+  net.tasks.push_back(
+      Task("c3d_2r7_512", MakeConv3d(n, 512, 2, 7, 7, 512, 3, 3, 3, 1, 1), 3, "conv3d"));
+  net.tasks.push_back(Task("fc400", MakeDense(n, 512, 400), 1, "dense"));
+  return net;
+}
+
+NetworkTasks DcganTasks(int64_t batch) {
+  int64_t n = batch;
+  NetworkTasks net;
+  net.name = "DCGAN";
+  net.tasks.push_back(Task("fc_project", MakeDense(n, 100, 512 * 4 * 4), 1, "dense"));
+  net.tasks.push_back(
+      Task("t2d_4_512", MakeTransposedConv2d(n, 512, 4, 4, 256, 4, 4, 2, 1), 1, "t2d"));
+  net.tasks.push_back(
+      Task("t2d_8_256", MakeTransposedConv2d(n, 256, 8, 8, 128, 4, 4, 2, 1), 1, "t2d"));
+  net.tasks.push_back(
+      Task("t2d_16_128", MakeTransposedConv2d(n, 128, 16, 16, 64, 4, 4, 2, 1), 1, "t2d"));
+  net.tasks.push_back(
+      Task("t2d_32_64", MakeTransposedConv2d(n, 64, 32, 32, 3, 4, 4, 2, 1), 1, "t2d"));
+  return net;
+}
+
+NetworkTasks BertTasks(int64_t batch) {
+  int64_t n = batch;
+  NetworkTasks net;
+  net.name = "BERT";
+  // 12 layers of: QKV projections + attention output (768x768 GMMs), the
+  // attention score TBG, and the two FFN GMMs.
+  net.tasks.push_back(Task("qkv_768", MakeMatmul(128, 768, 768, n), 48, "matmul"));
+  net.tasks.push_back(Task("attn_tbg", MakeTBG(n, 128, 12, 64), 12, "tbg"));
+  net.tasks.push_back(Task("ffn_up", MakeMatmul(128, 3072, 768, n), 12, "matmul"));
+  net.tasks.push_back(Task("ffn_down", MakeMatmul(128, 768, 3072, n), 12, "matmul"));
+  return net;
+}
+
+std::vector<NetworkTasks> AllNetworks(int64_t batch) {
+  return {ResNet50Tasks(batch), MobileNetV2Tasks(batch), ResNet18_3DTasks(batch),
+          DcganTasks(batch), BertTasks(batch)};
+}
+
+}  // namespace ansor

@@ -1,0 +1,52 @@
+// Benchmark suites mirroring the paper's evaluation setup (§7).
+//
+//  * SingleOpSuite  — 10 operators x 4 shape configurations (Fig. 6),
+//    instantiated for a batch size.
+//  * SubgraphSuite  — ConvLayer and TBG, 4 shapes each (Fig. 8).
+//  * Network task sets — ResNet-50, MobileNet-V2, 3D-ResNet-18, DCGAN, BERT
+//    (Figs. 9/10): each network is a list of its unique subgraph tasks with
+//    occurrence weights (paper §6: ResNet-50 has 29 unique subgraphs among 50
+//    convolutions; we encode the representative unique layers).
+#ifndef ANSOR_SRC_WORKLOADS_SUITES_H_
+#define ANSOR_SRC_WORKLOADS_SUITES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/search/search_policy.h"
+#include "src/workloads/operators.h"
+
+namespace ansor {
+
+struct OpBenchCase {
+  std::string op;     // C1D, C2D, ... NRM
+  std::string shape;  // human-readable shape tag
+  ComputeDAG dag;
+};
+
+// The Fig. 6 suite: for each of the 10 operators, 4 shape configurations
+// drawn from common DNNs, instantiated at the given batch size.
+std::vector<OpBenchCase> SingleOpSuite(int64_t batch);
+
+// The Fig. 8 suite: ConvLayer and TBG subgraphs, 4 shapes each.
+std::vector<OpBenchCase> SubgraphSuite(int64_t batch);
+
+// A network = named weighted set of unique subgraph tasks.
+struct NetworkTasks {
+  std::string name;
+  std::vector<SearchTask> tasks;
+};
+
+NetworkTasks ResNet50Tasks(int64_t batch);
+NetworkTasks MobileNetV2Tasks(int64_t batch);
+NetworkTasks ResNet18_3DTasks(int64_t batch);
+NetworkTasks DcganTasks(int64_t batch);
+NetworkTasks BertTasks(int64_t batch);
+
+// All five networks of Fig. 9.
+std::vector<NetworkTasks> AllNetworks(int64_t batch);
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_WORKLOADS_SUITES_H_

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "src/analysis/access_pattern.h"
+#include "src/analysis/predicates.h"
+#include "tests/testing.h"
+
+namespace ansor {
+namespace {
+
+TEST(Predicates, MatmulHasDataReuse) {
+  ComputeDAG dag = testing::MatmulRelu();
+  State state(&dag);
+  int c = state.StageIndex("C");
+  int d = state.StageIndex("D");
+  EXPECT_TRUE(HasDataReuse(state, c));
+  EXPECT_FALSE(HasDataReuse(state, d));
+}
+
+TEST(Predicates, ReluIsStrictInlinable) {
+  ComputeDAG dag = testing::ReluPadMatmul();
+  State state(&dag);
+  // B (relu) has consumer C and identity loads: inlinable.
+  EXPECT_TRUE(IsStrictInlinable(state, state.StageIndex("B")));
+  // C (pad) reads B with clamped index: not identity -> not strictly inlinable.
+  EXPECT_FALSE(IsStrictInlinable(state, state.StageIndex("C")));
+  // E is an output (no consumer): not inlinable.
+  EXPECT_FALSE(IsStrictInlinable(state, state.StageIndex("E")));
+}
+
+TEST(Predicates, MatmulReluFusibleConsumer) {
+  ComputeDAG dag = testing::MatmulRelu();
+  State state(&dag);
+  int consumer = -1;
+  ASSERT_TRUE(HasFusibleConsumer(state, state.StageIndex("C"), &consumer));
+  EXPECT_EQ(consumer, state.StageIndex("D"));
+  EXPECT_FALSE(HasFusibleConsumer(state, state.StageIndex("D"), nullptr));
+}
+
+TEST(Predicates, PadConsumerIsNotFusible) {
+  ComputeDAG dag = testing::ReluPadMatmul();
+  State state(&dag);
+  // B's only consumer C reads with a non-identity (clamped) index.
+  EXPECT_FALSE(HasFusibleConsumer(state, state.StageIndex("B"), nullptr));
+}
+
+TEST(Predicates, NormHasMoreReductionParallel) {
+  ComputeDAG dag = testing::MatrixNorm(8, 512);
+  State state(&dag);
+  EXPECT_TRUE(HasMoreReductionParallel(state, state.StageIndex("S")));
+  // A square matmul has plenty of space parallelism.
+  ComputeDAG mm = testing::Matmul(64, 64, 64);
+  State sm(&mm);
+  EXPECT_FALSE(HasMoreReductionParallel(sm, sm.StageIndex("C")));
+}
+
+TEST(Predicates, TallSkinnyMatmulTriggersRfactorRule) {
+  // The paper's example: C_2x2 = A_2x512 * B_512x2.
+  Tensor a = Placeholder("A", {2, 512});
+  Tensor b = Placeholder("B", {512, 2});
+  Tensor c = Compute("C", {2, 2}, [&](const std::vector<Expr>& i) {
+    Expr k = ReduceAxis(512, "k");
+    return Sum(a(i[0], k) * b(k, i[1]), {k});
+  });
+  ComputeDAG dag({a, b, c});
+  State state(&dag);
+  EXPECT_TRUE(HasMoreReductionParallel(state, state.StageIndex("C")));
+}
+
+TEST(Predicates, StateConsumersTracksInlining) {
+  ComputeDAG dag = testing::ReluPadMatmul();
+  State state(&dag);
+  auto before = StateConsumers(state);
+  EXPECT_EQ(before[static_cast<size_t>(state.StageIndex("B"))].size(), 1u);
+  ASSERT_TRUE(state.ComputeInline("B"));
+  // After inlining C reads A directly; B has no consumers in the state view.
+  auto after = StateConsumers(state);
+  EXPECT_TRUE(after[static_cast<size_t>(state.StageIndex("B"))].empty());
+}
+
+TEST(Predicates, DomainSizes) {
+  ComputeDAG dag = testing::Matmul(4, 8, 32);
+  State state(&dag);
+  const Stage& c = state.stage(state.StageIndex("C"));
+  EXPECT_EQ(SpaceDomainSize(c), 32);
+  EXPECT_EQ(ReductionDomainSize(c), 32);
+  EXPECT_DOUBLE_EQ(StageFlopCount(c), 4.0 * 8 * 32 * 2);
+}
+
+TEST(AccessPattern, RowMajorStrides) {
+  ComputeDAG dag = testing::Matmul(8, 16, 32);
+  State state(&dag);
+  LoweredProgram prog = Lower(state);
+  ASSERT_TRUE(prog.ok);
+  // Find the accumulate store of C and analyze its accesses.
+  const LoopTreeNode* store = nullptr;
+  std::function<void(const LoopTreeNode&)> find = [&](const LoopTreeNode& n) {
+    if (n.kind == LoopTreeKind::kStore && n.is_accumulate) {
+      store = &n;
+    }
+    for (const auto& child : n.children) {
+      find(*child);
+    }
+  };
+  for (const auto& root : prog.roots) {
+    find(*root);
+  }
+  ASSERT_NE(store, nullptr);
+
+  // Loop vars: i (8), j (16), k (32).
+  std::unordered_map<int64_t, int64_t> extents;
+  std::function<void(const LoopTreeNode&)> collect = [&](const LoopTreeNode& n) {
+    if (n.kind == LoopTreeKind::kLoop) {
+      extents[n.var->var_id] = n.extent;
+    }
+    for (const auto& child : n.children) {
+      collect(*child);
+    }
+  };
+  for (const auto& root : prog.roots) {
+    collect(*root);
+  }
+
+  auto accesses = StatementAccesses(*store, extents);
+  // Loads: A[i,k], B[k,j]; store: C[i,j].
+  ASSERT_EQ(accesses.size(), 3u);
+  const AccessPattern* a_pat = nullptr;
+  const AccessPattern* b_pat = nullptr;
+  const AccessPattern* c_pat = nullptr;
+  for (const auto& acc : accesses) {
+    if (acc.buffer->name == "A") a_pat = &acc;
+    if (acc.buffer->name == "B") b_pat = &acc;
+    if (acc.buffer->name == "C") c_pat = &acc;
+  }
+  ASSERT_NE(a_pat, nullptr);
+  ASSERT_NE(b_pat, nullptr);
+  ASSERT_NE(c_pat, nullptr);
+  EXPECT_TRUE(a_pat->analyzable);
+  EXPECT_TRUE(c_pat->is_write);
+
+  // Identify vars by extent (all distinct): i=8, j=16, k=32.
+  int64_t vi = -1;
+  int64_t vj = -1;
+  int64_t vk = -1;
+  for (const auto& [vid, ext] : extents) {
+    if (ext == 8) vi = vid;
+    if (ext == 16) vj = vid;
+    if (ext == 32) vk = vid;
+  }
+  // A is [8,32]: stride of i is 32, of k is 1, of j is 0.
+  EXPECT_DOUBLE_EQ(a_pat->StrideOf(vi), 32.0);
+  EXPECT_DOUBLE_EQ(a_pat->StrideOf(vk), 1.0);
+  EXPECT_DOUBLE_EQ(a_pat->StrideOf(vj), 0.0);
+  // B is [32,16]: stride of k is 16, of j is 1.
+  EXPECT_DOUBLE_EQ(b_pat->StrideOf(vk), 16.0);
+  EXPECT_DOUBLE_EQ(b_pat->StrideOf(vj), 1.0);
+  // C is [8,16]: stride of i is 16, of j is 1, k invariant.
+  EXPECT_DOUBLE_EQ(c_pat->StrideOf(vi), 16.0);
+  EXPECT_DOUBLE_EQ(c_pat->StrideOf(vk), 0.0);
+}
+
+TEST(AccessPattern, PaddedAccessStillAnalyzable) {
+  ComputeDAG dag = testing::ReluPadMatmul(4, 2, 8, 6);
+  State state(&dag);
+  // C contains a Select over B: analysis should use the affine skeleton.
+  LoweredProgram prog = Lower(state);
+  ASSERT_TRUE(prog.ok);
+  bool found_b = false;
+  std::function<void(const LoopTreeNode&, std::unordered_map<int64_t, int64_t>)> walk =
+      [&](const LoopTreeNode& n, std::unordered_map<int64_t, int64_t> extents) {
+        if (n.kind == LoopTreeKind::kLoop) {
+          extents[n.var->var_id] = n.extent;
+        }
+        if (n.kind == LoopTreeKind::kStore && n.buffer->name == "C") {
+          auto accesses = StatementAccesses(n, extents);
+          for (const auto& acc : accesses) {
+            if (acc.buffer->name == "B") {
+              found_b = true;
+              EXPECT_TRUE(acc.analyzable);
+            }
+          }
+        }
+        for (const auto& child : n.children) {
+          walk(*child, extents);
+        }
+      };
+  for (const auto& root : prog.roots) {
+    walk(*root, {});
+  }
+  EXPECT_TRUE(found_b);
+}
+
+}  // namespace
+}  // namespace ansor

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/costmodel/cost_model.h"
+#include "src/costmodel/gbdt.h"
+#include "src/costmodel/metrics.h"
+#include "src/support/rng.h"
+
+namespace ansor {
+namespace {
+
+// Synthetic dataset: program score is a linear function of two features.
+GbdtDataset MakeSyntheticDataset(int n_programs, int rows_per_program, Rng* rng) {
+  GbdtDataset data;
+  for (int p = 0; p < n_programs; ++p) {
+    double label = 0.0;
+    for (int r = 0; r < rows_per_program; ++r) {
+      std::vector<float> row(8, 0.0f);
+      for (auto& v : row) {
+        v = static_cast<float>(rng->Uniform());
+      }
+      label += 0.6 * row[0] + 0.4 * row[3];
+      data.rows.push_back(std::move(row));
+      data.group.push_back(p);
+    }
+    label /= rows_per_program;
+    data.labels.push_back(label);
+    data.weights.push_back(std::max(label, 0.1));
+  }
+  return data;
+}
+
+TEST(Gbdt, LearnsSyntheticFunction) {
+  Rng rng(3);
+  GbdtDataset train = MakeSyntheticDataset(200, 2, &rng);
+  Gbdt model;
+  model.Train(train);
+  ASSERT_TRUE(model.trained());
+
+  GbdtDataset test = MakeSyntheticDataset(100, 2, &rng);
+  std::vector<double> preds;
+  std::vector<double> truth;
+  size_t row = 0;
+  for (int p = 0; p < test.num_programs(); ++p) {
+    std::vector<std::vector<float>> rows;
+    while (row < test.rows.size() && test.group[row] == p) {
+      rows.push_back(test.rows[row]);
+      ++row;
+    }
+    preds.push_back(model.PredictProgram(rows));
+    truth.push_back(test.labels[static_cast<size_t>(p)]);
+  }
+  double acc = PairwiseComparisonAccuracy(preds, truth);
+  EXPECT_GT(acc, 0.85) << "GBDT failed to learn a simple linear ranking";
+}
+
+TEST(Gbdt, EmptyDatasetIsSafe) {
+  Gbdt model;
+  model.Train(GbdtDataset{});
+  EXPECT_FALSE(model.trained());
+  EXPECT_DOUBLE_EQ(model.PredictRow(std::vector<float>(8, 0.0f)), 0.0);
+}
+
+TEST(Gbdt, WeightedLossPrioritizesFastPrograms) {
+  // Two clusters: fast programs distinguished by feature 0, slow ones by
+  // feature 1 with conflicting signal. With throughput weighting the model
+  // must rank the fast cluster correctly.
+  Rng rng(11);
+  GbdtDataset data;
+  int p = 0;
+  for (int i = 0; i < 150; ++i) {
+    std::vector<float> row(4, 0.0f);
+    row[0] = static_cast<float>(rng.Uniform());
+    double label = 0.7 + 0.3 * row[0];  // fast cluster
+    data.rows.push_back(row);
+    data.group.push_back(p);
+    data.labels.push_back(label);
+    data.weights.push_back(label);
+    ++p;
+  }
+  Gbdt model;
+  model.Train(data);
+  std::vector<float> hi(4, 0.0f);
+  hi[0] = 0.95f;
+  std::vector<float> lo(4, 0.0f);
+  lo[0] = 0.05f;
+  EXPECT_GT(model.PredictProgram({hi}), model.PredictProgram({lo}));
+}
+
+TEST(CostModelTest, GbdtModelRanksAfterUpdate) {
+  Rng rng(5);
+  GbdtCostModel model;
+  std::vector<std::vector<std::vector<float>>> programs;
+  std::vector<double> throughputs;
+  for (int i = 0; i < 120; ++i) {
+    std::vector<float> row(static_cast<size_t>(6), 0.0f);
+    for (auto& v : row) {
+      v = static_cast<float>(rng.Uniform());
+    }
+    throughputs.push_back(1e9 * (0.2 + row[2]));
+    programs.push_back({row});
+  }
+  model.Update(/*task_id=*/1, programs, throughputs);
+  EXPECT_EQ(model.num_samples(), 120u);
+  auto preds = model.Predict(programs);
+  EXPECT_GT(PairwiseComparisonAccuracy(preds, throughputs), 0.8);
+}
+
+TEST(CostModelTest, InvalidProgramsScoreLowest) {
+  GbdtCostModel model;
+  auto preds = model.Predict({{}, {std::vector<float>(4, 1.0f)}});
+  EXPECT_LT(preds[0], preds[1]);
+}
+
+TEST(CostModelTest, NormalizationAcrossTasks) {
+  // Two tasks with very different raw throughputs; after per-task
+  // normalization the model should treat both tasks' best programs alike.
+  Rng rng(9);
+  GbdtCostModel model;
+  for (uint64_t task = 0; task < 2; ++task) {
+    std::vector<std::vector<std::vector<float>>> programs;
+    std::vector<double> throughputs;
+    double scale = task == 0 ? 1e12 : 1e6;
+    for (int i = 0; i < 60; ++i) {
+      std::vector<float> row(static_cast<size_t>(6), 0.0f);
+      row[1] = static_cast<float>(rng.Uniform());
+      throughputs.push_back(scale * (0.1 + row[1]));
+      programs.push_back({row});
+    }
+    model.Update(task, programs, throughputs);
+  }
+  // Prediction should rank by feature 1 regardless of the raw scale.
+  std::vector<float> hi(6, 0.0f);
+  hi[1] = 0.9f;
+  std::vector<float> lo(6, 0.0f);
+  lo[1] = 0.1f;
+  auto preds = model.Predict({{hi}, {lo}});
+  EXPECT_GT(preds[0], preds[1]);
+}
+
+TEST(CostModelTest, RandomModelIsUniform) {
+  RandomCostModel model(1);
+  auto preds = model.Predict({{std::vector<float>(4, 0.0f)},
+                              {std::vector<float>(4, 0.0f)},
+                              {}});
+  EXPECT_NE(preds[0], preds[1]);
+  EXPECT_LT(preds[2], 0.0);  // invalid program
+}
+
+TEST(Metrics, PairwiseAccuracy) {
+  EXPECT_DOUBLE_EQ(PairwiseComparisonAccuracy({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(PairwiseComparisonAccuracy({3, 2, 1}, {1, 2, 3}), 0.0);
+  // Constant predictions cannot distinguish: 0.5 (random).
+  EXPECT_DOUBLE_EQ(PairwiseComparisonAccuracy({1, 1, 1}, {1, 2, 3}), 0.5);
+  // Ties in truth are skipped.
+  EXPECT_DOUBLE_EQ(PairwiseComparisonAccuracy({1, 2}, {5, 5}), 0.5);
+}
+
+TEST(Metrics, RecallAtK) {
+  std::vector<double> truth = {10, 9, 8, 1, 2, 3};
+  std::vector<double> perfect = {10, 9, 8, 1, 2, 3};
+  std::vector<double> inverted = {1, 2, 3, 10, 9, 8};
+  EXPECT_DOUBLE_EQ(RecallAtK(perfect, truth, 3), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(inverted, truth, 3), 0.0);
+  std::vector<double> half = {10, 9, 1, 8, 2, 3};
+  EXPECT_NEAR(RecallAtK(half, truth, 2), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ansor

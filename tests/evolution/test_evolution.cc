@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "src/evolution/evolution.h"
+#include "src/hwsim/measurer.h"
+#include "src/exec/interpreter.h"
+#include "src/sketch/sketch.h"
+#include "tests/testing.h"
+
+namespace ansor {
+namespace {
+
+std::vector<State> InitPopulation(const ComputeDAG* dag, int count, uint64_t seed) {
+  auto sketches = GenerateSketches(dag);
+  Rng rng(seed);
+  std::vector<State> init;
+  while (static_cast<int>(init.size()) < count) {
+    State s = SampleCompleteProgram(sketches[rng.Index(sketches.size())], dag, &rng);
+    if (!s.failed() && Lower(s).ok) {
+      init.push_back(std::move(s));
+    }
+  }
+  return init;
+}
+
+TEST(Evolution, TileSizeMutationPreservesProductAndSemantics) {
+  ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
+  auto init = InitPopulation(&dag, 4, 1);
+  RandomCostModel model(1);
+  EvolutionarySearch es(&dag, &model, Rng(2));
+  int mutated_ok = 0;
+  for (const State& parent : init) {
+    for (int trial = 0; trial < 5; ++trial) {
+      State child = es.MutateTileSize(parent);
+      if (child.failed()) {
+        continue;
+      }
+      ++mutated_ok;
+      EXPECT_EQ(VerifyAgainstNaive(child), "") << child.ToString();
+    }
+  }
+  EXPECT_GT(mutated_ok, 10);
+}
+
+TEST(Evolution, PragmaMutationChangesValue) {
+  ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
+  auto init = InitPopulation(&dag, 8, 3);
+  RandomCostModel model(1);
+  EvolutionarySearch es(&dag, &model, Rng(4));
+  bool changed = false;
+  for (const State& parent : init) {
+    State child = es.MutatePragma(parent);
+    if (child.failed()) {
+      continue;
+    }
+    // Same steps except possibly a pragma value.
+    ASSERT_EQ(child.steps().size(), parent.steps().size());
+    for (size_t i = 0; i < child.steps().size(); ++i) {
+      if (child.steps()[i].kind == StepKind::kPragma &&
+          child.steps()[i].pragma_value != parent.steps()[i].pragma_value) {
+        changed = true;
+      }
+    }
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Evolution, VectorizeMutationTogglesAnnotation) {
+  ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
+  auto init = InitPopulation(&dag, 4, 5);
+  RandomCostModel model(1);
+  EvolutionarySearch es(&dag, &model, Rng(6));
+  int ok = 0;
+  for (const State& parent : init) {
+    for (int t = 0; t < 4; ++t) {
+      State child = es.MutateVectorize(parent);
+      if (!child.failed()) {
+        ++ok;
+        EXPECT_EQ(VerifyAgainstNaive(child), "");
+      }
+    }
+  }
+  EXPECT_GT(ok, 4);
+}
+
+TEST(Evolution, ComputeLocationMutationVerifies) {
+  ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
+  auto init = InitPopulation(&dag, 6, 7);
+  RandomCostModel model(1);
+  EvolutionarySearch es(&dag, &model, Rng(8));
+  int ok = 0;
+  for (const State& parent : init) {
+    State child = es.MutateComputeLocation(parent);
+    if (child.failed() || !Lower(child).ok) {
+      continue;  // unsupported placements are rejected downstream
+    }
+    EXPECT_EQ(VerifyAgainstNaive(child), "") << child.ToString();
+    ++ok;
+  }
+  EXPECT_GT(ok, 0);
+}
+
+TEST(Evolution, CrossoverMergesAndVerifies) {
+  ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
+  auto sketches = GenerateSketches(&dag);
+  Rng rng(9);
+  // Parents sampled from the SAME sketch so skeletons match.
+  const State& sketch = sketches[0];
+  std::vector<State> parents;
+  while (parents.size() < 2) {
+    State s = SampleCompleteProgram(sketch, &dag, &rng);
+    if (!s.failed() && Lower(s).ok && s.steps().size() > 0) {
+      // Crossover requires matching step skeletons.
+      if (parents.empty() || s.steps().size() == parents[0].steps().size()) {
+        parents.push_back(std::move(s));
+      }
+    }
+  }
+  RandomCostModel model(1);
+  EvolutionarySearch es(&dag, &model, Rng(10));
+  int ok = 0;
+  for (int t = 0; t < 10; ++t) {
+    State child = es.Crossover(parents[0], parents[1]);
+    if (child.failed() || !Lower(child).ok) {
+      continue;
+    }
+    EXPECT_EQ(VerifyAgainstNaive(child), "") << child.ToString();
+    ++ok;
+  }
+  EXPECT_GT(ok, 5);
+}
+
+TEST(Evolution, CrossoverRejectsMismatchedSkeletons) {
+  ComputeDAG dag = testing::Matmul(16, 16, 16);
+  auto sketches = GenerateSketches(&dag);
+  ASSERT_GE(sketches.size(), 2u);
+  Rng rng(11);
+  State a = SampleCompleteProgram(sketches[0], &dag, &rng);
+  State b = SampleCompleteProgram(sketches[1], &dag, &rng);
+  if (a.failed() || b.failed() || a.steps().size() == b.steps().size()) {
+    GTEST_SKIP() << "could not construct mismatched parents";
+  }
+  RandomCostModel model(1);
+  EvolutionarySearch es(&dag, &model, Rng(12));
+  State child = es.Crossover(a, b);
+  EXPECT_TRUE(child.failed());
+}
+
+TEST(Evolution, EvolveImprovesPredictedFitness) {
+  // With a cost model that prefers programs whose innermost loops are
+  // vectorized, evolution should enrich the population accordingly. We use
+  // the GBDT model trained on simulator data for realism.
+  ComputeDAG dag = testing::Matmul(64, 64, 64);
+  auto init = InitPopulation(&dag, 16, 13);
+
+  // Train the model on the initial population's simulated throughput.
+  Measurer measurer(MachineModel::IntelCpu20Core());
+  GbdtCostModel model;
+  std::vector<std::vector<std::vector<float>>> features;
+  std::vector<double> throughputs;
+  for (const State& s : init) {
+    features.push_back(ExtractStateFeatures(s));
+    MeasureResult r = measurer.Measure(s);
+    throughputs.push_back(r.valid ? r.throughput : 0.0);
+  }
+  model.Update(dag.CanonicalHash(), features, throughputs);
+
+  EvolutionOptions options;
+  options.population = 32;
+  options.generations = 3;
+  EvolutionarySearch es(&dag, &model, Rng(14), options);
+  auto best = es.Evolve(init, 8);
+  ASSERT_FALSE(best.empty());
+
+  // The evolved best (by prediction) should measure at least as fast as the
+  // median of the initial random population.
+  std::vector<double> init_seconds;
+  for (const State& s : init) {
+    init_seconds.push_back(measurer.Measure(s).seconds);
+  }
+  double evolved_best = 1e30;
+  for (const State& s : best) {
+    MeasureResult r = measurer.Measure(s);
+    if (r.valid) {
+      evolved_best = std::min(evolved_best, r.seconds);
+    }
+  }
+  std::sort(init_seconds.begin(), init_seconds.end());
+  EXPECT_LT(evolved_best, init_seconds[init_seconds.size() / 2] * 1.05);
+}
+
+TEST(Evolution, EvolveReturnsDistinctStates) {
+  ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
+  auto init = InitPopulation(&dag, 8, 15);
+  RandomCostModel model(3);
+  EvolutionOptions options;
+  options.population = 16;
+  options.generations = 2;
+  EvolutionarySearch es(&dag, &model, Rng(16), options);
+  auto best = es.Evolve(init, 6);
+  std::set<std::string> sigs;
+  for (const State& s : best) {
+    std::string sig;
+    for (const Step& step : s.steps()) {
+      sig += step.ToString();
+    }
+    EXPECT_TRUE(sigs.insert(sig).second);
+  }
+}
+
+}  // namespace
+}  // namespace ansor

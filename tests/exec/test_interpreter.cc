@@ -1,0 +1,187 @@
+// End-to-end semantics-preservation tests: every schedule transform (and
+// combinations of them) must produce a program whose outputs match the naive
+// DAG execution.
+#include <gtest/gtest.h>
+
+#include "src/exec/interpreter.h"
+#include "tests/testing.h"
+
+namespace ansor {
+namespace {
+
+TEST(Interpreter, NaiveScheduleMatches) {
+  ComputeDAG dag = testing::MatmulRelu(8, 8, 8);
+  State state(&dag);
+  EXPECT_EQ(VerifyAgainstNaive(state), "");
+}
+
+TEST(Interpreter, SplitPreservesSemantics) {
+  ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
+  State state(&dag);
+  ASSERT_TRUE(state.Split("C", 0, {4, 2}));
+  ASSERT_TRUE(state.Split("C", 4, {8}));
+  EXPECT_EQ(VerifyAgainstNaive(state), "");
+}
+
+TEST(Interpreter, NonExactSplitPreservesSemantics) {
+  ComputeDAG dag = testing::MatmulRelu(10, 11, 13);
+  State state(&dag);
+  ASSERT_TRUE(state.Split("C", 0, {3}));
+  ASSERT_TRUE(state.Split("C", 2, {4}));
+  ASSERT_TRUE(state.Split("C", 4, {5}));
+  EXPECT_EQ(VerifyAgainstNaive(state), "");
+}
+
+TEST(Interpreter, ReorderPreservesSemantics) {
+  ComputeDAG dag = testing::MatmulRelu(8, 8, 8);
+  State state(&dag);
+  ASSERT_TRUE(state.Reorder("C", {2, 1, 0}));  // reduction outermost
+  EXPECT_EQ(VerifyAgainstNaive(state), "");
+}
+
+TEST(Interpreter, FusePreservesSemantics) {
+  ComputeDAG dag = testing::MatmulRelu(8, 8, 8);
+  State state(&dag);
+  ASSERT_TRUE(state.Fuse("C", 0, 2));
+  ASSERT_TRUE(state.Fuse("D", 0, 2));
+  EXPECT_EQ(VerifyAgainstNaive(state), "");
+}
+
+TEST(Interpreter, SplitThenFusePreservesSemantics) {
+  ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
+  State state(&dag);
+  ASSERT_TRUE(state.Split("C", 0, {4}));
+  ASSERT_TRUE(state.Split("C", 2, {4}));
+  // iters: i.0 i.1 j.0 j.1 k -> reorder to i.0 j.0 i.1 j.1 k, fuse outer two.
+  ASSERT_TRUE(state.Reorder("C", {0, 2, 1, 3, 4}));
+  ASSERT_TRUE(state.Fuse("C", 0, 2));
+  EXPECT_EQ(VerifyAgainstNaive(state), "");
+}
+
+TEST(Interpreter, InlinePreservesSemantics) {
+  ComputeDAG dag = testing::ReluPadMatmul(8, 4, 16, 12);
+  State state(&dag);
+  ASSERT_TRUE(state.ComputeInline("B"));
+  ASSERT_TRUE(state.ComputeInline("C"));
+  EXPECT_EQ(VerifyAgainstNaive(state), "");
+}
+
+TEST(Interpreter, CacheWritePreservesSemantics) {
+  ComputeDAG dag = testing::Matmul(8, 8, 8);
+  State state(&dag);
+  ASSERT_TRUE(state.CacheWrite("C", nullptr));
+  EXPECT_EQ(VerifyAgainstNaive(state), "");
+}
+
+TEST(Interpreter, CacheWriteWithFusionPreservesSemantics) {
+  ComputeDAG dag = testing::Matmul(16, 16, 16);
+  State state(&dag);
+  int cache = -1;
+  ASSERT_TRUE(state.CacheWrite("C", &cache));
+  // Tile C.cache: i -> (2,8) split at step 1; j -> (2,8) split at step 2.
+  ASSERT_TRUE(state.Split("C.cache", 0, {8}));  // step index 1
+  ASSERT_TRUE(state.Split("C.cache", 2, {8}));  // step index 2
+  ASSERT_TRUE(state.Reorder("C.cache", {0, 2, 1, 3, 4}));
+  ASSERT_TRUE(state.FollowSplit("C", 0, 1, 2));
+  ASSERT_TRUE(state.FollowSplit("C", 2, 2, 2));
+  ASSERT_TRUE(state.Reorder("C", {0, 2, 1, 3}));
+  ASSERT_TRUE(state.ComputeAt("C.cache", "C", 1));
+  EXPECT_EQ(VerifyAgainstNaive(state), "");
+}
+
+TEST(Interpreter, MultiLevelTilingWithConsumerFusion) {
+  ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
+  State state(&dag);
+  // SSRSRS tiling on C (4 space levels per axis, 2 reduce levels).
+  ASSERT_TRUE(state.Split("C", 0, {2, 2, 2}));  // i -> 4 parts, step 0
+  ASSERT_TRUE(state.Split("C", 4, {2, 2, 2}));  // j -> 4 parts, step 1
+  ASSERT_TRUE(state.Split("C", 8, {4}));        // k -> 2 parts, step 2
+  // Order: i0 j0 i1 j1 k0 i2 j2 k1 i3 j3.
+  ASSERT_TRUE(state.Reorder("C", {0, 4, 1, 5, 8, 2, 6, 9, 3, 7}));
+  // Consumer D follows the first two space levels.
+  ASSERT_TRUE(state.FollowSplit("D", 0, 0, 3));
+  ASSERT_TRUE(state.FollowSplit("D", 3, 1, 3));
+  ASSERT_TRUE(state.Reorder("D", {0, 3, 1, 4, 2, 5}));
+  ASSERT_TRUE(state.ComputeAt("C", "D", 3));
+  EXPECT_EQ(VerifyAgainstNaive(state), "");
+}
+
+TEST(Interpreter, TilingFusionWithAnnotations) {
+  ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
+  State state(&dag);
+  ASSERT_TRUE(state.Split("C", 0, {2, 2, 2}));
+  ASSERT_TRUE(state.Split("C", 4, {2, 2, 2}));
+  ASSERT_TRUE(state.Split("C", 8, {4}));
+  ASSERT_TRUE(state.Reorder("C", {0, 4, 1, 5, 8, 2, 6, 9, 3, 7}));
+  ASSERT_TRUE(state.FollowSplit("D", 0, 0, 3));
+  ASSERT_TRUE(state.FollowSplit("D", 3, 1, 3));
+  ASSERT_TRUE(state.Reorder("D", {0, 3, 1, 4, 2, 5}));
+  ASSERT_TRUE(state.ComputeAt("C", "D", 3));
+  // Annotations do not change semantics.
+  ASSERT_TRUE(state.Fuse("D", 0, 2));
+  ASSERT_TRUE(state.Annotate("D", 0, IterAnnotation::kParallel));
+  ASSERT_TRUE(state.Annotate("C", 9, IterAnnotation::kVectorize));
+  ASSERT_TRUE(state.Pragma("C", 16));
+  EXPECT_EQ(VerifyAgainstNaive(state), "");
+}
+
+TEST(Interpreter, RfactorPreservesSemantics) {
+  ComputeDAG dag = testing::Matmul(4, 4, 64);
+  State state(&dag);
+  ASSERT_TRUE(state.Split("C", 2, {8}));
+  ASSERT_TRUE(state.Rfactor("C", 3, nullptr));
+  EXPECT_EQ(VerifyAgainstNaive(state), "");
+}
+
+TEST(Interpreter, RfactorKeepOuterPreservesSemantics) {
+  ComputeDAG dag = testing::Matmul(4, 4, 64);
+  State state(&dag);
+  ASSERT_TRUE(state.Split("C", 2, {8}));
+  ASSERT_TRUE(state.Rfactor("C", 2, nullptr));  // keep the outer part
+  EXPECT_EQ(VerifyAgainstNaive(state), "");
+}
+
+TEST(Interpreter, RfactorOnNormWorkload) {
+  ComputeDAG dag = testing::MatrixNorm(4, 64);
+  State state(&dag);
+  ASSERT_TRUE(state.Split("S", 1, {16}));
+  ASSERT_TRUE(state.Rfactor("S", 2, nullptr));
+  ASSERT_TRUE(state.Annotate("S.rf", 1, IterAnnotation::kParallel));
+  EXPECT_EQ(VerifyAgainstNaive(state), "");
+}
+
+TEST(Interpreter, PaddedWorkloadFullPipeline) {
+  ComputeDAG dag = testing::ReluPadMatmul(8, 4, 16, 12);
+  State state(&dag);
+  ASSERT_TRUE(state.ComputeInline("B"));
+  ASSERT_TRUE(state.Split("E", 0, {2}));
+  ASSERT_TRUE(state.Split("E", 3, {4}));
+  EXPECT_EQ(VerifyAgainstNaive(state), "");
+}
+
+TEST(Interpreter, GuardedTilingWithFusion) {
+  // Non-divisible shapes through the full tiling+fusion pipeline.
+  ComputeDAG dag = testing::MatmulRelu(12, 12, 12);
+  State state(&dag);
+  ASSERT_TRUE(state.Split("C", 0, {2, 2}));  // ceil(12/4)=3 exact
+  ASSERT_TRUE(state.Split("C", 3, {2, 2}));
+  ASSERT_TRUE(state.Split("C", 6, {4}));
+  ASSERT_TRUE(state.Reorder("C", {0, 3, 1, 4, 6, 2, 5, 7}));
+  ASSERT_TRUE(state.FollowSplit("D", 0, 0, 2));
+  ASSERT_TRUE(state.FollowSplit("D", 2, 1, 2));
+  ASSERT_TRUE(state.Reorder("D", {0, 2, 1, 3}));
+  ASSERT_TRUE(state.ComputeAt("C", "D", 1));
+  EXPECT_EQ(VerifyAgainstNaive(state), "");
+}
+
+TEST(Interpreter, ExecuteFailedProgramReportsError) {
+  ComputeDAG dag = testing::MatmulRelu();
+  State state(&dag);
+  state.Split("C", 99, {2});
+  LoweredProgram prog = Lower(state);
+  ExecutionResult result = ExecuteProgram(prog, {});
+  EXPECT_FALSE(result.ok);
+}
+
+}  // namespace
+}  // namespace ansor

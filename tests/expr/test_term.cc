@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "src/expr/term.h"
+
+namespace ansor {
+namespace {
+
+std::unordered_map<int64_t, int64_t> Extents(const std::vector<std::pair<Expr, int64_t>>& v) {
+  std::unordered_map<int64_t, int64_t> m;
+  for (const auto& [var, extent] : v) {
+    m[var->var_id] = extent;
+  }
+  return m;
+}
+
+TEST(TermMatch, PlainVariable) {
+  Expr v = MakeVar("v", 16);
+  AxisTerm term;
+  ASSERT_TRUE(MatchAxisTerm(v, Extents({{v, 16}}), &term));
+  EXPECT_EQ(term.var_id, v->var_id);
+  EXPECT_EQ(term.multiplier, 1);
+  EXPECT_EQ(term.component_extent, 16);
+}
+
+TEST(TermMatch, ScaledVariable) {
+  Expr v = MakeVar("v", 8);
+  AxisTerm term;
+  ASSERT_TRUE(MatchAxisTerm(Expr(v) * IntImm(4), Extents({{v, 8}}), &term));
+  EXPECT_EQ(term.multiplier, 4);
+  EXPECT_EQ(term.component_extent, 8);
+  // Constant on the left also matches.
+  ASSERT_TRUE(MatchAxisTerm(IntImm(4) * Expr(v), Extents({{v, 8}}), &term));
+  EXPECT_EQ(term.multiplier, 4);
+}
+
+TEST(TermMatch, FusedComponentDivMod) {
+  // ((f / 4) % 8) * 2 : component extent 8, multiplier 2, divisor 4.
+  Expr f = MakeVar("f", 64);
+  Expr e = ((Expr(f) / IntImm(4)) % IntImm(8)) * IntImm(2);
+  AxisTerm term;
+  ASSERT_TRUE(MatchAxisTerm(e, Extents({{f, 64}}), &term));
+  EXPECT_EQ(term.var_id, f->var_id);
+  EXPECT_EQ(term.multiplier, 2);
+  EXPECT_EQ(term.divisor, 4);
+  EXPECT_EQ(term.component_extent, 8);
+}
+
+TEST(TermMatch, ModBoundsComponentExtent) {
+  // (f / 16) with extent 64 -> 4 distinct values even without a mod.
+  Expr f = MakeVar("f", 64);
+  AxisTerm term;
+  ASSERT_TRUE(MatchAxisTerm(Expr(f) / IntImm(16), Extents({{f, 64}}), &term));
+  EXPECT_EQ(term.component_extent, 4);
+  // Mod larger than the range does not inflate the extent.
+  ASSERT_TRUE(MatchAxisTerm((Expr(f) / IntImm(16)) % IntImm(100), Extents({{f, 64}}), &term));
+  EXPECT_EQ(term.component_extent, 4);
+}
+
+TEST(TermMatch, Constants) {
+  AxisTerm term;
+  ASSERT_TRUE(MatchAxisTerm(IntImm(7), {}, &term));
+  EXPECT_TRUE(term.is_constant);
+  EXPECT_EQ(term.constant, 7);
+  ASSERT_TRUE(MatchAxisTerm(IntImm(7) * IntImm(3), {}, &term));
+  EXPECT_EQ(term.constant, 21);
+}
+
+TEST(TermMatch, RejectsOutsideGrammar) {
+  Expr a = MakeVar("a", 4);
+  Expr b = MakeVar("b", 4);
+  auto extents = Extents({{a, 4}, {b, 4}});
+  AxisTerm term;
+  EXPECT_FALSE(MatchAxisTerm(Expr(a) * Expr(b), extents, &term));
+  EXPECT_FALSE(MatchAxisTerm(Min(Expr(a), IntImm(2)), extents, &term));
+  EXPECT_FALSE(MatchAxisTerm(Select(Expr(a) < IntImm(2), Expr(a), Expr(b)), extents, &term));
+  // Unknown variable (not a loop var in scope).
+  Expr unknown = MakeVar("u", 4);
+  EXPECT_FALSE(MatchAxisTerm(unknown, extents, &term));
+}
+
+TEST(DecomposeIndexTest, SplitsAdditiveTerms) {
+  Expr a = MakeVar("a", 4);
+  Expr b = MakeVar("b", 8);
+  Expr e = Expr(a) * IntImm(8) + Expr(b) + IntImm(3);
+  std::vector<AxisTerm> terms;
+  ASSERT_TRUE(DecomposeIndex(e, Extents({{a, 4}, {b, 8}}), &terms));
+  ASSERT_EQ(terms.size(), 3u);
+  EXPECT_EQ(terms[0].multiplier, 8);
+  EXPECT_EQ(terms[1].multiplier, 1);
+  EXPECT_TRUE(terms[2].is_constant);
+}
+
+TEST(DecomposeIndexTest, FailsOnAnyBadTerm) {
+  Expr a = MakeVar("a", 4);
+  Expr e = Expr(a) + Expr(a) * Expr(a);
+  std::vector<AxisTerm> terms;
+  EXPECT_FALSE(DecomposeIndex(e, Extents({{a, 4}}), &terms));
+}
+
+TEST(FlattenAddTermsTest, NestedAdds) {
+  Expr a = MakeVar("a", 2);
+  Expr b = MakeVar("b", 2);
+  Expr c = MakeVar("c", 2);
+  std::vector<Expr> terms;
+  FlattenAddTerms((Expr(a) + Expr(b)) + Expr(c), &terms);
+  EXPECT_EQ(terms.size(), 3u);
+  terms.clear();
+  FlattenAddTerms(Expr(a), &terms);
+  EXPECT_EQ(terms.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ansor

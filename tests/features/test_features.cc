@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "src/features/feature_extraction.h"
+#include "tests/testing.h"
+
+namespace ansor {
+namespace {
+
+TEST(Features, DimensionIs164) {
+  // Appendix B: "The length of a feature vector ... is 164."
+  EXPECT_EQ(FeatureDim(), 164u);
+  EXPECT_EQ(FeatureNames().size(), 164u);
+}
+
+TEST(Features, OneRowPerStatement) {
+  ComputeDAG dag = testing::MatmulRelu(8, 8, 8);
+  State state(&dag);
+  auto rows = ExtractStateFeatures(state);
+  // C init, C accumulate, D store.
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.size(), FeatureDim());
+  }
+}
+
+TEST(Features, FailedLoweringYieldsNoRows) {
+  ComputeDAG dag = testing::MatmulRelu();
+  State state(&dag);
+  state.Split("C", 99, {2});
+  EXPECT_TRUE(ExtractStateFeatures(state).empty());
+}
+
+TEST(Features, AnnotationFeaturesRespond) {
+  ComputeDAG dag = testing::Matmul(16, 16, 16);
+  State plain(&dag);
+  State annotated(&dag);
+  ASSERT_TRUE(annotated.Annotate("C", 0, IterAnnotation::kParallel));
+  ASSERT_TRUE(annotated.Reorder("C", {0, 2, 1}));
+  ASSERT_TRUE(annotated.Annotate("C", 2, IterAnnotation::kVectorize));
+
+  auto plain_rows = ExtractStateFeatures(plain);
+  auto annotated_rows = ExtractStateFeatures(annotated);
+  ASSERT_FALSE(plain_rows.empty());
+  ASSERT_FALSE(annotated_rows.empty());
+
+  // Locate the vectorize innermost-length and parallel product features.
+  const auto& names = FeatureNames();
+  auto index_of = [&](const std::string& name) {
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+  int vec_len = index_of("vec.innermost_len");
+  int par_prod = index_of("parallel.product");
+  ASSERT_GE(vec_len, 0);
+  ASSERT_GE(par_prod, 0);
+  // The accumulate row (row 1) of the annotated state shows both.
+  EXPECT_GT(annotated_rows[1][static_cast<size_t>(vec_len)], 0.0f);
+  EXPECT_GT(annotated_rows[1][static_cast<size_t>(par_prod)], 0.0f);
+  EXPECT_EQ(plain_rows[1][static_cast<size_t>(vec_len)], 0.0f);
+  EXPECT_EQ(plain_rows[1][static_cast<size_t>(par_prod)], 0.0f);
+}
+
+TEST(Features, BufferFeaturesDistinguishPrograms) {
+  // Tiled and untiled matmuls must produce different feature rows (otherwise
+  // the cost model cannot distinguish them).
+  ComputeDAG dag = testing::Matmul(64, 64, 64);
+  State plain(&dag);
+  State tiled(&dag);
+  ASSERT_TRUE(tiled.Split("C", 0, {8}));
+  ASSERT_TRUE(tiled.Split("C", 2, {8}));
+  ASSERT_TRUE(tiled.Split("C", 4, {8}));
+  ASSERT_TRUE(tiled.Reorder("C", {0, 2, 4, 1, 3, 5}));
+  auto a = ExtractStateFeatures(plain);
+  auto b = ExtractStateFeatures(tiled);
+  ASSERT_EQ(a.size(), b.size());
+  bool any_diff = false;
+  for (size_t r = 0; r < a.size(); ++r) {
+    if (a[r] != b[r]) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Features, ReductionFlagSet) {
+  ComputeDAG dag = testing::Matmul(8, 8, 8);
+  State state(&dag);
+  auto rows = ExtractStateFeatures(state);
+  const auto& names = FeatureNames();
+  int flag = -1;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == "is_reduction") {
+      flag = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(flag, 0);
+  // Row 0 = init (not reduction combine), row 1 = accumulate.
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][static_cast<size_t>(flag)], 0.0f);
+  EXPECT_EQ(rows[1][static_cast<size_t>(flag)], 1.0f);
+}
+
+TEST(Features, ValuesAreFinite) {
+  ComputeDAG dag = testing::MatrixNorm(8, 128);
+  State state(&dag);
+  ASSERT_TRUE(state.Split("S", 1, {16}));
+  ASSERT_TRUE(state.Rfactor("S", 2, nullptr));
+  auto rows = ExtractStateFeatures(state);
+  ASSERT_FALSE(rows.empty());
+  for (const auto& row : rows) {
+    for (float v : row) {
+      EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ansor

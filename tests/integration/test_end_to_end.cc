@@ -1,0 +1,94 @@
+// End-to-end integration tests through the public API.
+#include <gtest/gtest.h>
+
+#include "src/core/ansor.h"
+#include "src/exec/interpreter.h"
+
+namespace ansor {
+namespace {
+
+AnsorOptions FastOptions() {
+  AnsorOptions options;
+  options.measures_per_round = 8;
+  options.search.population = 12;
+  options.search.generations = 1;
+  options.search.random_samples_per_round = 6;
+  return options;
+}
+
+TEST(EndToEnd, AutoScheduleMatmul) {
+  ComputeDAG dag = MakeMatmul(128, 128, 128);
+  AnsorResult r = AutoSchedule(dag, /*trials=*/24, FastOptions());
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.gflops, 0.0);
+  EXPECT_NE(r.best_program.find("for"), std::string::npos);
+}
+
+TEST(EndToEnd, AutoScheduleConvOnAllTargets) {
+  ComputeDAG dag = MakeConv2d(1, 32, 14, 14, 32, 3, 3, 1, 1);
+  double intel = 0.0;
+  double arm = 0.0;
+  for (TargetKind target :
+       {TargetKind::kIntelCpu, TargetKind::kArmCpu, TargetKind::kNvidiaGpu}) {
+    AnsorOptions options = FastOptions();
+    options.target = target;
+    AnsorResult r = AutoSchedule(dag, 24, options);
+    ASSERT_TRUE(r.ok) << "target " << static_cast<int>(target);
+    if (target == TargetKind::kIntelCpu) {
+      intel = r.seconds;
+    }
+    if (target == TargetKind::kArmCpu) {
+      arm = r.seconds;
+    }
+  }
+  EXPECT_GT(arm, intel);  // the edge CPU is slower
+}
+
+TEST(EndToEnd, BestProgramOfSearchIsCorrect) {
+  // Full pipeline on the padded workload: sketch -> sample -> evolve ->
+  // measure; the winner must still compute the right function.
+  ComputeDAG dag = MakeConv2d(1, 4, 8, 8, 4, 3, 3, 1, 1);
+  MeasureOptions mo;
+  mo.verify_every = 1;  // verify every measured program against naive
+  Measurer measurer(MachineModel::IntelCpu20Core(), mo);
+  GbdtCostModel model;
+  SearchTask task = MakeSearchTask("conv", dag);
+  SearchOptions options;
+  options.population = 12;
+  options.generations = 2;
+  TuneResult result = TuneTask(task, &measurer, &model, 24, 8, options);
+  ASSERT_TRUE(result.best_state.has_value());
+  EXPECT_EQ(VerifyAgainstNaive(*result.best_state), "");
+}
+
+TEST(EndToEnd, TuneNetworksSharedScheduler) {
+  // Two tiny "networks" sharing a deduplicated task.
+  NetworkTasks net_a;
+  net_a.name = "netA";
+  net_a.tasks.push_back(MakeSearchTask("mm64", MakeMatmul(64, 64, 64), 2, "matmul"));
+  NetworkTasks net_b = net_a;
+  net_b.name = "netB";
+  net_b.tasks.push_back(MakeSearchTask("mm32", MakeMatmul(32, 32, 32), 1, "matmul"));
+  AnsorOptions options = FastOptions();
+  auto results = TuneNetworks({net_a, net_b}, /*total_rounds=*/6,
+                              Objective::SumLatency(), options);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_GT(results[0].latency_seconds, 0.0);
+  EXPECT_GT(results[1].latency_seconds, 0.0);
+  // netB contains netA's task plus one more.
+  EXPECT_EQ(results[0].task_seconds.size(), 1u);
+  EXPECT_EQ(results[1].task_seconds.size(), 2u);
+  // The shared task was tuned once: identical best latency in both networks.
+  EXPECT_DOUBLE_EQ(results[0].task_seconds[0], results[1].task_seconds[0]);
+}
+
+TEST(EndToEnd, MeasurerNoiseStillFindsPrograms) {
+  ComputeDAG dag = MakeMatmul(64, 64, 64);
+  AnsorOptions options = FastOptions();
+  options.measurement_noise = 0.05;
+  AnsorResult r = AutoSchedule(dag, 16, options);
+  EXPECT_TRUE(r.ok);
+}
+
+}  // namespace
+}  // namespace ansor

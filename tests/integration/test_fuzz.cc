@@ -1,0 +1,153 @@
+// Fuzz-style robustness tests: the schedule machinery must never abort on
+// arbitrary step sequences — invalid programs fail gracefully (failed state /
+// failed lowering / failed measurement), because the evolutionary search
+// routinely produces and discards such candidates.
+#include <gtest/gtest.h>
+
+#include "src/exec/interpreter.h"
+#include "src/hwsim/measurer.h"
+#include "src/sampler/annotation.h"
+#include "src/search/record_log.h"
+#include "src/sketch/sketch.h"
+#include "tests/testing.h"
+
+namespace ansor {
+namespace {
+
+// Generates a random (frequently invalid) step targeting random stages and
+// iterators.
+Step RandomStep(Rng* rng, const std::vector<std::string>& stage_names) {
+  const std::string& stage = stage_names[rng->Index(stage_names.size())];
+  switch (rng->Int(0, 9)) {
+    case 0:
+      return MakeSplitStep(stage, static_cast<int>(rng->Int(0, 6)),
+                           {rng->Int(1, 8), rng->Int(1, 4)});
+    case 1:
+      return MakeFollowSplitStep(stage, static_cast<int>(rng->Int(0, 6)),
+                                 static_cast<int>(rng->Int(0, 4)),
+                                 static_cast<int>(rng->Int(2, 4)));
+    case 2:
+      return MakeFuseStep(stage, static_cast<int>(rng->Int(0, 5)),
+                          static_cast<int>(rng->Int(2, 4)));
+    case 3: {
+      std::vector<int> order;
+      size_t n = rng->Index(6) + 1;
+      for (size_t i = 0; i < n; ++i) {
+        order.push_back(static_cast<int>(rng->Int(0, static_cast<int64_t>(n) - 1)));
+      }
+      return MakeReorderStep(stage, order);
+    }
+    case 4:
+      return MakeComputeAtStep(stage, stage_names[rng->Index(stage_names.size())],
+                               static_cast<int>(rng->Int(0, 8)));
+    case 5:
+      return MakeComputeInlineStep(stage);
+    case 6:
+      return MakeCacheWriteStep(stage);
+    case 7:
+      return MakeRfactorStep(stage, static_cast<int>(rng->Int(0, 6)));
+    case 8:
+      return MakeAnnotationStep(stage, static_cast<int>(rng->Int(0, 8)),
+                                static_cast<IterAnnotation>(rng->Int(0, 6)));
+    default:
+      return MakePragmaStep(stage, static_cast<int>(rng->Int(0, 600)));
+  }
+}
+
+class StepFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(StepFuzz, RandomStepSequencesNeverAbort) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 77 + 5);
+  ComputeDAG dag = testing::MatmulRelu(12, 12, 12);
+  std::vector<std::string> stage_names = {"C", "D", "C.cache", "C.rf", "nonexistent"};
+  Measurer measurer(MachineModel::IntelCpu20Core());
+
+  for (int seq = 0; seq < 20; ++seq) {
+    std::vector<Step> steps;
+    int n_steps = static_cast<int>(rng.Int(1, 10));
+    for (int i = 0; i < n_steps; ++i) {
+      steps.push_back(RandomStep(&rng, stage_names));
+    }
+    State state = State::Replay(&dag, steps);
+    if (state.failed()) {
+      continue;  // graceful rejection
+    }
+    // Valid replays must lower-or-fail gracefully and, when they lower and
+    // execute, must preserve semantics.
+    LoweredProgram prog = Lower(state);
+    if (!prog.ok) {
+      continue;
+    }
+    EXPECT_EQ(VerifyAgainstNaive(state), "") << state.ToString();
+    MeasureResult r = measurer.Measure(state);
+    if (r.valid) {
+      EXPECT_GT(r.seconds, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StepFuzz, ::testing::Range(0, 10));
+
+class RecordFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecordFuzz, GarbageRecordLinesNeverAbort) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 99);
+  const std::string alphabet = "task=|seconds;steps@SPCAFU,0123456789.e-";
+  for (int i = 0; i < 200; ++i) {
+    std::string line;
+    size_t len = rng.Index(60);
+    for (size_t c = 0; c < len; ++c) {
+      line += alphabet[rng.Index(alphabet.size())];
+    }
+    auto record = ParseRecord(line);  // must not crash; value irrelevant
+    if (record.has_value()) {
+      EXPECT_TRUE(std::isfinite(record->seconds));
+    }
+    auto step = ParseStep(line);
+    (void)step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecordFuzz, ::testing::Range(0, 4));
+
+TEST(SamplerFuzz, HighTweakProbabilityStaysSound) {
+  // Force the compute-location tweak on every sample: many placements are
+  // invalid and must be rejected by lowering, never crash; valid ones verify.
+  ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
+  auto sketches = GenerateSketches(&dag);
+  SamplerOptions options;
+  options.location_tweak_probability = 1.0;
+  Rng rng(123);
+  int valid = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    State program = SampleCompleteProgram(sketches[rng.Index(sketches.size())], &dag, &rng,
+                                          options);
+    if (program.failed() || !Lower(program).ok) {
+      continue;
+    }
+    EXPECT_EQ(VerifyAgainstNaive(program), "") << program.ToString();
+    ++valid;
+  }
+  EXPECT_GT(valid, 5);
+}
+
+TEST(MeasurerFuzz, BatchWithMixedValidity) {
+  ComputeDAG dag = testing::Matmul(16, 16, 16);
+  Measurer measurer(MachineModel::IntelCpu20Core());
+  std::vector<State> batch;
+  for (int i = 0; i < 6; ++i) {
+    State s(&dag);
+    if (i % 2 == 1) {
+      s.Split("C", 99, {2});  // poison half the batch
+    }
+    batch.push_back(std::move(s));
+  }
+  auto results = measurer.MeasureBatch(batch);
+  ASSERT_EQ(results.size(), 6u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].valid, i % 2 == 0);
+  }
+}
+
+}  // namespace
+}  // namespace ansor

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "src/ir/state.h"
+#include "tests/testing.h"
+
+namespace ansor {
+namespace {
+
+TEST(State, InitialStagesMatchComputeOps) {
+  ComputeDAG dag = testing::MatmulRelu();
+  State state(&dag);
+  ASSERT_EQ(state.stages().size(), 2u);  // C and D (placeholders have no stage)
+  EXPECT_EQ(state.stages()[0].name(), "C");
+  EXPECT_EQ(state.stages()[1].name(), "D");
+  // C: i, j space + k reduce.
+  const Stage& c = state.stages()[0];
+  ASSERT_EQ(c.iters.size(), 3u);
+  EXPECT_EQ(c.iters[0].kind, IterKind::kSpace);
+  EXPECT_EQ(c.iters[2].kind, IterKind::kReduce);
+  EXPECT_EQ(c.iters[2].extent, 16);
+}
+
+TEST(State, SplitCreatesParts) {
+  ComputeDAG dag = testing::MatmulRelu();
+  State state(&dag);
+  ASSERT_TRUE(state.Split("C", 0, {4, 2}));
+  const Stage& c = state.stages()[0];
+  ASSERT_EQ(c.iters.size(), 5u);
+  EXPECT_EQ(c.iters[0].extent, 2);  // outer = 16 / (4*2)
+  EXPECT_EQ(c.iters[1].extent, 4);
+  EXPECT_EQ(c.iters[2].extent, 2);
+  EXPECT_EQ(c.iters[0].name, "i.0");
+  EXPECT_EQ(c.iters[2].name, "i.2");
+  // Strides: inner to outer 1, 2, 8.
+  EXPECT_EQ(c.iters[2].stride, 1);
+  EXPECT_EQ(c.iters[1].stride, 2);
+  EXPECT_EQ(c.iters[0].stride, 8);
+}
+
+TEST(State, SplitNonExactMarksGuard) {
+  ComputeDAG dag = testing::MatmulRelu(10, 10, 10);
+  State state(&dag);
+  ASSERT_TRUE(state.Split("C", 0, {3}));  // ceil(10/3)=4, 12 > 10
+  const Stage& c = state.stages()[0];
+  EXPECT_EQ(c.iters[0].extent, 4);
+  EXPECT_EQ(c.guarded_axes.size(), 1u);
+}
+
+TEST(State, SplitInvalidIterFails) {
+  ComputeDAG dag = testing::MatmulRelu();
+  State state(&dag);
+  EXPECT_FALSE(state.Split("C", 99, {4}));
+  EXPECT_TRUE(state.failed());
+}
+
+TEST(State, FuseCombinesExtents) {
+  ComputeDAG dag = testing::MatmulRelu();
+  State state(&dag);
+  ASSERT_TRUE(state.Fuse("D", 0, 2));
+  const Stage& d = state.stages()[1];
+  ASSERT_EQ(d.iters.size(), 1u);
+  EXPECT_EQ(d.iters[0].extent, 256);
+}
+
+TEST(State, FuseMixedKindsFails) {
+  ComputeDAG dag = testing::MatmulRelu();
+  State state(&dag);
+  // C iters: i (space), j (space), k (reduce); fusing j and k must fail.
+  EXPECT_FALSE(state.Fuse("C", 1, 2));
+}
+
+TEST(State, ReorderPermutes) {
+  ComputeDAG dag = testing::MatmulRelu();
+  State state(&dag);
+  ASSERT_TRUE(state.Reorder("C", {2, 0, 1}));
+  const Stage& c = state.stages()[0];
+  EXPECT_EQ(c.iters[0].kind, IterKind::kReduce);
+}
+
+TEST(State, ReorderRejectsNonPermutation) {
+  ComputeDAG dag = testing::MatmulRelu();
+  State state(&dag);
+  EXPECT_FALSE(state.Reorder("C", {0, 0, 1}));
+}
+
+TEST(State, ComputeInlineRewritesConsumer) {
+  ComputeDAG dag = testing::ReluPadMatmul();
+  State state(&dag);
+  // Inline B (relu) into C (pad).
+  ASSERT_TRUE(state.ComputeInline("B"));
+  int c_idx = state.StageIndex("C");
+  const Stage& c = state.stage(c_idx);
+  // C's body should now reference A directly (B was inlined).
+  std::vector<const ExprNode*> loads;
+  CollectLoads(c.op->body, &loads);
+  bool reads_a = false;
+  bool reads_b = false;
+  for (const ExprNode* l : loads) {
+    reads_a |= l->buffer->name == "A";
+    reads_b |= l->buffer->name == "B";
+  }
+  EXPECT_TRUE(reads_a);
+  EXPECT_FALSE(reads_b);
+  EXPECT_EQ(state.stage(state.StageIndex("B")).loc.kind, ComputeLocKind::kInlined);
+}
+
+TEST(State, InlineReductionFails) {
+  ComputeDAG dag = testing::MatmulRelu();
+  State state(&dag);
+  EXPECT_FALSE(state.ComputeInline("C"));
+}
+
+TEST(State, CacheWriteSplitsStage) {
+  ComputeDAG dag = testing::Matmul();
+  State state(&dag);
+  int new_stage = -1;
+  ASSERT_TRUE(state.CacheWrite("C", &new_stage));
+  ASSERT_EQ(state.stages().size(), 2u);
+  EXPECT_EQ(state.stages()[0].name(), "C.cache");
+  EXPECT_EQ(state.stages()[1].name(), "C");
+  EXPECT_EQ(new_stage, 0);
+  // The cache carries the reduction; C is now an identity read.
+  EXPECT_TRUE(HasReduce(state.stages()[0].op->body));
+  EXPECT_FALSE(HasReduce(state.stages()[1].op->body));
+  // C has no reduce iterators anymore.
+  EXPECT_EQ(state.stages()[1].iters.size(), 2u);
+}
+
+TEST(State, RfactorRequiresSplitReduction) {
+  ComputeDAG dag = testing::Matmul();
+  State state(&dag);
+  // k not split yet -> must fail.
+  EXPECT_FALSE(state.Rfactor("C", 2, nullptr));
+}
+
+TEST(State, RfactorCreatesStage) {
+  ComputeDAG dag = testing::Matmul(4, 4, 16);
+  State state(&dag);
+  ASSERT_TRUE(state.Split("C", 2, {4}));  // k -> k.0 (4), k.1 (4)
+  int new_stage = -1;
+  ASSERT_TRUE(state.Rfactor("C", 3, &new_stage));  // keep the inner part
+  ASSERT_EQ(state.stages().size(), 2u);
+  EXPECT_EQ(state.stages()[0].name(), "C.rf");
+  const OperationRef& rf = state.stages()[0].op;
+  // rf shape = [4, 4, 4] (original shape + kept extent).
+  EXPECT_EQ(rf->output->shape, (std::vector<int64_t>{4, 4, 4}));
+  // C reduces over the kept axis.
+  const Stage& c = state.stages()[1];
+  ASSERT_EQ(c.iters.size(), 3u);
+  EXPECT_EQ(c.iters[2].kind, IterKind::kReduce);
+  EXPECT_EQ(c.iters[2].extent, 4);
+}
+
+TEST(State, AnnotationApplies) {
+  ComputeDAG dag = testing::MatmulRelu();
+  State state(&dag);
+  ASSERT_TRUE(state.Annotate("C", 0, IterAnnotation::kParallel));
+  EXPECT_EQ(state.stages()[0].iters[0].annotation, IterAnnotation::kParallel);
+  ASSERT_TRUE(state.Pragma("C", 64));
+  EXPECT_EQ(state.stages()[0].auto_unroll_max_step, 64);
+}
+
+TEST(State, ReplayReproducesState) {
+  ComputeDAG dag = testing::MatmulRelu();
+  State state(&dag);
+  ASSERT_TRUE(state.Split("C", 0, {4}));
+  ASSERT_TRUE(state.Split("C", 2, {8}));
+  ASSERT_TRUE(state.Reorder("C", {0, 2, 1, 3, 4}));
+  ASSERT_TRUE(state.Annotate("C", 0, IterAnnotation::kParallel));
+
+  State replayed = State::Replay(&dag, state.steps());
+  ASSERT_FALSE(replayed.failed());
+  ASSERT_EQ(replayed.stages().size(), state.stages().size());
+  for (size_t s = 0; s < state.stages().size(); ++s) {
+    const Stage& a = state.stages()[s];
+    const Stage& b = replayed.stages()[s];
+    ASSERT_EQ(a.iters.size(), b.iters.size());
+    for (size_t i = 0; i < a.iters.size(); ++i) {
+      EXPECT_EQ(a.iters[i].extent, b.iters[i].extent);
+      EXPECT_EQ(a.iters[i].kind, b.iters[i].kind);
+      EXPECT_EQ(a.iters[i].annotation, b.iters[i].annotation);
+    }
+  }
+}
+
+TEST(State, ReplayInvalidStepsReportsFailure) {
+  ComputeDAG dag = testing::MatmulRelu();
+  std::vector<Step> steps = {MakeSplitStep("C", 42, {2})};
+  State replayed = State::Replay(&dag, steps);
+  EXPECT_TRUE(replayed.failed());
+}
+
+TEST(State, ComputeAtSetsLocation) {
+  ComputeDAG dag = testing::MatmulRelu();
+  State state(&dag);
+  ASSERT_TRUE(state.Split("D", 0, {4}));
+  ASSERT_TRUE(state.ComputeAt("C", "D", 0));
+  EXPECT_EQ(state.stages()[0].loc.kind, ComputeLocKind::kAt);
+  EXPECT_EQ(state.stages()[0].loc.at_stage, "D");
+}
+
+TEST(State, ToStringShowsLoops) {
+  ComputeDAG dag = testing::MatmulRelu();
+  State state(&dag);
+  state.Split("C", 0, {4});
+  std::string s = state.ToString();
+  EXPECT_NE(s.find("for i.0"), std::string::npos);
+  EXPECT_NE(s.find("C[...]"), std::string::npos);
+}
+
+TEST(State, FollowSplitMirrorsSourceLengths) {
+  ComputeDAG dag = testing::MatmulRelu();
+  State state(&dag);
+  // Split C.i into 4 parts with inner lengths [2, 2, 2] (step index 0).
+  ASSERT_TRUE(state.Split("C", 0, {2, 2, 2}));
+  // Follow on D.i with 3 parts: lengths should become [2, 4].
+  ASSERT_TRUE(state.FollowSplit("D", 0, 0, 3));
+  const Stage& d = state.stages()[state.StageIndex("D")];
+  ASSERT_EQ(d.iters.size(), 4u);  // i.0, i.1, i.2, j
+  EXPECT_EQ(d.iters[0].extent, 2);  // outer = 16/(2*4)
+  EXPECT_EQ(d.iters[1].extent, 2);
+  EXPECT_EQ(d.iters[2].extent, 4);
+}
+
+}  // namespace
+}  // namespace ansor

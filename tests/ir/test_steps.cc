@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "src/ir/steps.h"
+
+namespace ansor {
+namespace {
+
+TEST(Steps, FactoryFillsFields) {
+  Step s = MakeSplitStep("C", 1, {4, 2});
+  EXPECT_EQ(s.kind, StepKind::kSplit);
+  EXPECT_EQ(s.stage, "C");
+  EXPECT_EQ(s.iter, 1);
+  EXPECT_EQ(s.lengths, (std::vector<int64_t>{4, 2}));
+
+  Step f = MakeFollowSplitStep("D", 0, 3, 2);
+  EXPECT_EQ(f.kind, StepKind::kFollowSplit);
+  EXPECT_EQ(f.src_step, 3);
+  EXPECT_EQ(f.n_parts, 2);
+
+  Step fuse = MakeFuseStep("C", 0, 4);
+  EXPECT_EQ(fuse.fuse_count, 4);
+
+  Step at = MakeComputeAtStep("C", "D", 3);
+  EXPECT_EQ(at.target_stage, "D");
+  EXPECT_EQ(at.target_iter, 3);
+
+  Step ann = MakeAnnotationStep("C", 5, IterAnnotation::kVectorize);
+  EXPECT_EQ(ann.annotation, IterAnnotation::kVectorize);
+
+  Step pragma = MakePragmaStep("C", 16);
+  EXPECT_EQ(pragma.pragma_value, 16);
+}
+
+TEST(Steps, ToStringIsInformative) {
+  EXPECT_NE(MakeSplitStep("C", 1, {4, 2}).ToString().find("split(C"), std::string::npos);
+  EXPECT_NE(MakeCacheWriteStep("C").ToString().find("cache_write"), std::string::npos);
+  EXPECT_NE(MakeRfactorStep("C", 2).ToString().find("rfactor"), std::string::npos);
+  EXPECT_NE(MakeReorderStep("C", {1, 0}).ToString().find("reorder"), std::string::npos);
+}
+
+TEST(Steps, AnnotationNames) {
+  EXPECT_STREQ(IterAnnotationName(IterAnnotation::kParallel), "parallel");
+  EXPECT_STREQ(IterAnnotationName(IterAnnotation::kVectorize), "vectorize");
+  EXPECT_STREQ(IterAnnotationName(IterAnnotation::kUnroll), "unroll");
+  EXPECT_STREQ(IterAnnotationName(IterAnnotation::kBlockX), "blockIdx.x");
+  EXPECT_STREQ(IterAnnotationName(IterAnnotation::kThreadX), "threadIdx.x");
+}
+
+}  // namespace
+}  // namespace ansor

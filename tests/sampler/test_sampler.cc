@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "src/exec/interpreter.h"
+#include "src/sampler/annotation.h"
+#include "src/sketch/sketch.h"
+#include "tests/testing.h"
+
+namespace ansor {
+namespace {
+
+TEST(SampleFactorizationTest, ProductDividesExtent) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    int64_t extent = rng.Int(1, 512);
+    int parts = static_cast<int>(rng.Int(1, 4));
+    auto lengths = SampleFactorization(extent, parts, &rng, 64);
+    ASSERT_EQ(lengths.size(), static_cast<size_t>(parts));
+    int64_t prod = 1;
+    for (int64_t l : lengths) {
+      ASSERT_GT(l, 0);
+      prod *= l;
+    }
+    EXPECT_EQ(extent % prod, 0) << "extent " << extent;
+  }
+}
+
+TEST(SampleFactorizationTest, InnermostBounded) {
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto lengths = SampleFactorization(4096, 3, &rng, 16);
+    EXPECT_LE(lengths.back(), 16);
+  }
+}
+
+TEST(SampleTileSizesTest, ConcreteSizesFillPendingSplits) {
+  ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
+  auto sketches = GenerateSketches(&dag);
+  ASSERT_FALSE(sketches.empty());
+  Rng rng(3);
+  State sampled = SampleTileSizes(sketches[0], &dag, &rng);
+  ASSERT_FALSE(sampled.failed()) << sampled.error();
+  // All split steps should have concrete (not necessarily 1) lengths and the
+  // state must replay.
+  State replayed = State::Replay(&dag, sampled.steps());
+  EXPECT_FALSE(replayed.failed());
+}
+
+TEST(SampledProgramsAreSemanticallyCorrect, MatmulRelu) {
+  // THE key property (paper §4): every sampled complete program must compute
+  // the same function as the naive program.
+  ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
+  auto sketches = GenerateSketches(&dag);
+  ASSERT_FALSE(sketches.empty());
+  Rng rng(7);
+  int verified = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const State& sketch = sketches[rng.Index(sketches.size())];
+    State program = SampleCompleteProgram(sketch, &dag, &rng);
+    if (program.failed()) {
+      continue;  // invalid samples are allowed; the measurer rejects them
+    }
+    std::string err = VerifyAgainstNaive(program);
+    LoweredProgram lowered = Lower(program);
+    if (!lowered.ok) {
+      continue;  // unsupported placement from a location tweak: rejected
+    }
+    EXPECT_EQ(err, "") << program.ToString();
+    ++verified;
+  }
+  EXPECT_GT(verified, 20);
+}
+
+TEST(SampledProgramsAreSemanticallyCorrect, PaddedWorkload) {
+  ComputeDAG dag = testing::ReluPadMatmul(8, 4, 64, 48);
+  auto sketches = GenerateSketches(&dag);
+  ASSERT_FALSE(sketches.empty());
+  Rng rng(11);
+  int verified = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const State& sketch = sketches[rng.Index(sketches.size())];
+    State program = SampleCompleteProgram(sketch, &dag, &rng);
+    if (program.failed() || !Lower(program).ok) {
+      continue;
+    }
+    EXPECT_EQ(VerifyAgainstNaive(program), "") << program.ToString();
+    ++verified;
+  }
+  EXPECT_GT(verified, 10);
+}
+
+TEST(SampledProgramsAreSemanticallyCorrect, NormWithRfactor) {
+  ComputeDAG dag = testing::MatrixNorm(4, 64);
+  auto sketches = GenerateSketches(&dag);
+  Rng rng(13);
+  int verified = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const State& sketch = sketches[rng.Index(sketches.size())];
+    State program = SampleCompleteProgram(sketch, &dag, &rng);
+    if (program.failed() || !Lower(program).ok) {
+      continue;
+    }
+    EXPECT_EQ(VerifyAgainstNaive(program), "") << program.ToString();
+    ++verified;
+  }
+  EXPECT_GT(verified, 10);
+}
+
+TEST(Annotation, ParallelAnnotationAppears) {
+  ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
+  auto sketches = GenerateSketches(&dag);
+  Rng rng(5);
+  bool saw_parallel = false;
+  bool saw_vectorize = false;
+  for (int trial = 0; trial < 20 && !(saw_parallel && saw_vectorize); ++trial) {
+    State program = SampleCompleteProgram(sketches[0], &dag, &rng);
+    if (program.failed()) {
+      continue;
+    }
+    for (const Stage& s : program.stages()) {
+      for (const Iterator& it : s.iters) {
+        saw_parallel |= it.annotation == IterAnnotation::kParallel;
+        saw_vectorize |= it.annotation == IterAnnotation::kVectorize;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_parallel);
+  EXPECT_TRUE(saw_vectorize);
+}
+
+TEST(Annotation, GpuPolicyBindsThreads) {
+  ComputeDAG dag = testing::MatmulRelu(32, 32, 32);
+  auto sketches = GenerateSketches(&dag);
+  Rng rng(6);
+  SamplerOptions options;
+  options.gpu = true;
+  bool saw_bind = false;
+  for (int trial = 0; trial < 20 && !saw_bind; ++trial) {
+    State program = SampleCompleteProgram(sketches[0], &dag, &rng, options);
+    if (program.failed()) {
+      continue;
+    }
+    for (const Stage& s : program.stages()) {
+      for (const Iterator& it : s.iters) {
+        saw_bind |= it.annotation == IterAnnotation::kBlockX;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_bind);
+}
+
+TEST(Annotation, GpuSampledProgramsVerify) {
+  ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
+  auto sketches = GenerateSketches(&dag);
+  Rng rng(21);
+  SamplerOptions options;
+  options.gpu = true;
+  int verified = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    State program = SampleCompleteProgram(sketches[rng.Index(sketches.size())], &dag, &rng,
+                                          options);
+    if (program.failed() || !Lower(program).ok) {
+      continue;
+    }
+    EXPECT_EQ(VerifyAgainstNaive(program), "") << program.ToString();
+    ++verified;
+  }
+  EXPECT_GT(verified, 5);
+}
+
+}  // namespace
+}  // namespace ansor

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/baselines.h"
+#include "src/exec/interpreter.h"
+#include "src/search/search_policy.h"
+#include "src/workloads/operators.h"
+#include "tests/testing.h"
+
+namespace ansor {
+namespace {
+
+SearchTask MakeTask(ComputeDAG dag, const std::string& name = "t") {
+  return MakeSearchTask(name, std::move(dag));
+}
+
+TEST(SearchPolicy, TuneFindsValidProgram) {
+  Measurer measurer(MachineModel::IntelCpu20Core());
+  GbdtCostModel model;
+  SearchTask task = MakeTask(testing::Matmul(64, 64, 64));
+  SearchOptions options;
+  options.population = 16;
+  options.generations = 2;
+  options.random_samples_per_round = 8;
+  TuneResult result = TuneTask(task, &measurer, &model, /*trials=*/32, 16, options);
+  ASSERT_TRUE(result.best_state.has_value());
+  EXPECT_GT(result.best_throughput, 0.0);
+  EXPECT_LT(result.best_seconds, 1.0);
+  EXPECT_FALSE(result.history.empty());
+}
+
+TEST(SearchPolicy, SearchImprovesOverRounds) {
+  Measurer measurer(MachineModel::IntelCpu20Core());
+  GbdtCostModel model;
+  SearchTask task = MakeTask(testing::Matmul(128, 128, 128));
+  SearchOptions options;
+  options.population = 24;
+  options.generations = 2;
+  TaskTuner tuner(task, &measurer, &model, options);
+  double first = tuner.TuneRound(12);
+  for (int r = 0; r < 4; ++r) {
+    tuner.TuneRound(12);
+  }
+  double last = tuner.best_seconds();
+  EXPECT_LE(last, first);  // best-so-far is monotone
+  EXPECT_EQ(tuner.history().size(), 5u);
+  EXPECT_GE(tuner.total_measures(), 48);
+}
+
+TEST(SearchPolicy, FineTuningBeatsRandomOnSameBudget) {
+  // Fig. 7 "No fine-tuning" ablation: with the same trial budget, evolution +
+  // learned model should find at least as good a program as random sampling.
+  SearchTask task = MakeTask(MakeConv2d(4, 64, 14, 14, 64, 3, 3, 1, 1));
+  int budget = 48;
+
+  Measurer m1(MachineModel::IntelCpu20Core());
+  GbdtCostModel model;
+  SearchOptions tuned;
+  tuned.population = 24;
+  tuned.generations = 3;
+  TuneResult with_tuning = TuneTask(task, &m1, &model, budget, 16, tuned);
+
+  Measurer m2(MachineModel::IntelCpu20Core());
+  GbdtCostModel dummy;
+  SearchOptions random_only = tuned;
+  random_only.enable_fine_tuning = false;
+  TuneResult random_result = TuneTask(task, &m2, &dummy, budget, 16, random_only);
+
+  ASSERT_TRUE(with_tuning.best_state.has_value());
+  ASSERT_TRUE(random_result.best_state.has_value());
+  EXPECT_LE(with_tuning.best_seconds, random_result.best_seconds * 1.10);
+}
+
+TEST(SearchPolicy, BestStateVerifiesSemantics) {
+  Measurer measurer(MachineModel::IntelCpu20Core());
+  GbdtCostModel model;
+  SearchTask task = MakeTask(testing::MatmulRelu(16, 16, 16));
+  SearchOptions options;
+  options.population = 16;
+  options.generations = 2;
+  TuneResult result = TuneTask(task, &measurer, &model, 32, 16, options);
+  ASSERT_TRUE(result.best_state.has_value());
+  EXPECT_EQ(VerifyAgainstNaive(*result.best_state), "");
+}
+
+TEST(SearchPolicy, LimitedSpaceFindsWorseOrEqualPrograms) {
+  // Fig. 7 "Limited space": restricting the sketch space must not find better
+  // programs than the full space under a generous budget.
+  SearchTask task = MakeTask(MakeTransposedConv2d(1, 64, 8, 8, 32, 4, 4, 2, 1));
+  int budget = 64;
+
+  Measurer m1(MachineModel::IntelCpu20Core());
+  GbdtCostModel model1;
+  SearchOptions full;
+  full.population = 24;
+  full.generations = 3;
+  TuneResult full_result = TuneTask(task, &m1, &model1, budget, 16, full);
+
+  Measurer m2(MachineModel::IntelCpu20Core());
+  GbdtCostModel model2;
+  SearchOptions limited = full;
+  limited.sketch.enable_cache_write = false;
+  limited.sketch.enable_rfactor = false;
+  limited.sketch.space_levels = 2;
+  limited.sketch.reduce_levels = 1;
+  limited.sampler.unroll_options = {16};
+  TuneResult limited_result = TuneTask(task, &m2, &model2, budget, 16, limited);
+
+  ASSERT_TRUE(full_result.best_state.has_value());
+  ASSERT_TRUE(limited_result.best_state.has_value());
+  EXPECT_LE(full_result.best_seconds, limited_result.best_seconds * 1.15);
+}
+
+TEST(SearchPolicy, TaskIdStableAcrossConstruction) {
+  SearchTask a = MakeTask(testing::Matmul(32, 32, 32));
+  SearchTask b = MakeTask(testing::Matmul(32, 32, 32));
+  EXPECT_EQ(a.task_id(), b.task_id());
+  EXPECT_GT(a.flop_count(), 0.0);
+}
+
+TEST(Baselines, VendorLibraryProducesValidSchedule) {
+  Measurer measurer(MachineModel::IntelCpu20Core());
+  SearchTask task = MakeTask(testing::Matmul(64, 64, 64));
+  TuneResult r = VendorLibrary(task, &measurer);
+  ASSERT_TRUE(r.best_state.has_value());
+  EXPECT_LT(r.best_seconds, 1.0);
+  EXPECT_EQ(VerifyAgainstNaive(*r.best_state), "");
+}
+
+TEST(Baselines, VendorLibraryIsDeterministic) {
+  Measurer measurer(MachineModel::IntelCpu20Core());
+  SearchTask task = MakeTask(MakeConv2d(1, 32, 14, 14, 32, 3, 3, 1, 1));
+  TuneResult a = VendorLibrary(task, &measurer);
+  TuneResult b = VendorLibrary(task, &measurer);
+  EXPECT_DOUBLE_EQ(a.best_seconds, b.best_seconds);
+}
+
+TEST(Baselines, TemplateSearchRespectsBudgetAndFindsPrograms) {
+  Measurer measurer(MachineModel::IntelCpu20Core());
+  SearchTask task = MakeTask(testing::Matmul(64, 64, 64));
+  TuneResult r = TemplateSearch(task, &measurer, 32);
+  ASSERT_TRUE(r.best_state.has_value());
+  EXPECT_LE(measurer.trial_count(), 32 + 16);
+  EXPECT_EQ(VerifyAgainstNaive(*r.best_state), "");
+}
+
+TEST(Baselines, AnsorBeatsTemplateSearchOnT2D) {
+  // The headline qualitative claim of Fig. 6: Ansor's larger space wins on
+  // the transposed convolution (zero-multiplication elimination is outside
+  // the template space).
+  SearchTask task = MakeTask(MakeTransposedConv2d(1, 128, 8, 8, 64, 4, 4, 2, 1));
+  int budget = 64;
+
+  Measurer m1(MachineModel::IntelCpu20Core());
+  GbdtCostModel model;
+  SearchOptions options;
+  options.population = 24;
+  options.generations = 3;
+  TuneResult ansor = TuneTask(task, &m1, &model, budget, 16, options);
+
+  Measurer m2(MachineModel::IntelCpu20Core());
+  TuneResult tmpl = TemplateSearch(task, &m2, budget);
+
+  ASSERT_TRUE(ansor.best_state.has_value());
+  ASSERT_TRUE(tmpl.best_state.has_value());
+  EXPECT_LT(ansor.best_seconds, tmpl.best_seconds * 1.02);
+}
+
+TEST(Baselines, BeamSearchProducesValidPrograms) {
+  Measurer measurer(MachineModel::IntelCpu20Core());
+  GbdtCostModel model;
+  SearchTask task = MakeTask(testing::MatmulRelu(16, 16, 16));
+  BeamSearchOptions options;
+  options.beam_width = 4;
+  options.expansions_per_state = 2;
+  TuneResult r = BeamSearch(task, &measurer, &model, 24, options);
+  ASSERT_TRUE(r.best_state.has_value());
+  EXPECT_EQ(VerifyAgainstNaive(*r.best_state), "");
+}
+
+}  // namespace
+}  // namespace ansor

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "src/support/rng.h"
+#include "src/support/thread_pool.h"
+#include "src/support/util.h"
+
+namespace ansor {
+namespace {
+
+TEST(Divisors, SmallNumbers) {
+  EXPECT_EQ(Divisors(1), (std::vector<int64_t>{1}));
+  EXPECT_EQ(Divisors(12), (std::vector<int64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(Divisors(16), (std::vector<int64_t>{1, 2, 4, 8, 16}));
+  EXPECT_EQ(Divisors(17), (std::vector<int64_t>{1, 17}));
+}
+
+TEST(Divisors, PerfectSquare) {
+  EXPECT_EQ(Divisors(36), (std::vector<int64_t>{1, 2, 3, 4, 6, 9, 12, 18, 36}));
+}
+
+TEST(CeilDiv, Basic) {
+  EXPECT_EQ(CeilDiv(10, 3), 4);
+  EXPECT_EQ(CeilDiv(9, 3), 3);
+  EXPECT_EQ(CeilDiv(1, 5), 1);
+}
+
+TEST(GeometricMean, Basic) {
+  EXPECT_DOUBLE_EQ(GeometricMean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(GeometricMean({}), 0.0);
+  EXPECT_NEAR(GeometricMean({2.0, 8.0, 4.0}), 4.0, 1e-12);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Int(0, 1000), b.Int(0, 1000));
+  }
+}
+
+TEST(Rng, IntBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsZeroWeights) {
+  Rng rng(2);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.WeightedIndex(weights), 1u);
+  }
+}
+
+TEST(Rng, WeightedIndexAllZeroFallsBackToUniform) {
+  Rng rng(3);
+  std::vector<double> weights = {0.0, 0.0, 0.0};
+  std::set<size_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    seen.insert(rng.WeightedIndex(weights));
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(4);
+  std::vector<size_t> perm = rng.Permutation(50);
+  std::set<size_t> unique(perm.begin(), perm.end());
+  EXPECT_EQ(unique.size(), 50u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 49u);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, EmptyAndSingle) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](size_t) { FAIL(); });
+  int count = 0;
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Join, Strings) {
+  EXPECT_EQ(Join(std::vector<int>{1, 2, 3}, ","), "1,2,3");
+  EXPECT_EQ(Join(std::vector<int>{}, ","), "");
+}
+
+TEST(Env, Defaults) {
+  EXPECT_DOUBLE_EQ(EnvDouble("ANSOR_NONEXISTENT_VAR_X", 1.5), 1.5);
+  EXPECT_EQ(EnvInt("ANSOR_NONEXISTENT_VAR_X", 42), 42);
+}
+
+}  // namespace
+}  // namespace ansor

@@ -1,0 +1,74 @@
+// Shared helpers for the test suite: canonical workloads used across modules
+// (the two example inputs of paper Figure 5, scaled down so interpretation is
+// fast) and small utilities.
+#ifndef ANSOR_TESTS_TESTING_H_
+#define ANSOR_TESTS_TESTING_H_
+
+#include <vector>
+
+#include "src/dag/compute_dag.h"
+#include "src/expr/operation.h"
+
+namespace ansor {
+namespace testing {
+
+// Example input 1 of Figure 5: C = A x B followed by ReLU, square matrices.
+inline ComputeDAG MatmulRelu(int64_t n = 16, int64_t m = 16, int64_t k = 16) {
+  Tensor a = Placeholder("A", {n, k});
+  Tensor b = Placeholder("B", {k, m});
+  Tensor c = Compute("C", {n, m}, [&](const std::vector<Expr>& i) {
+    Expr r = ReduceAxis(k, "k");
+    return Sum(a(i[0], r) * b(r, i[1]), {r});
+  });
+  Tensor d = Compute("D", {n, m}, [&](const std::vector<Expr>& i) {
+    return Max(c(i[0], i[1]), FloatImm(0.0));
+  });
+  return ComputeDAG({a, b, c, d});
+}
+
+// Example input 2 of Figure 5: relu -> zero-pad -> tall-skinny matmul.
+inline ComputeDAG ReluPadMatmul(int64_t rows = 8, int64_t cols = 4, int64_t inner = 16,
+                                int64_t valid = 12) {
+  Tensor a = Placeholder("A", {rows, valid});
+  Tensor d = Placeholder("Dm", {inner, cols});
+  Tensor b = Compute("B", {rows, valid}, [&](const std::vector<Expr>& i) {
+    return Max(a(i[0], i[1]), FloatImm(0.0));
+  });
+  Tensor c = Compute("C", {rows, inner}, [&](const std::vector<Expr>& i) {
+    return Select(i[1] < IntImm(valid), b(i[0], Min(i[1], IntImm(valid - 1))), FloatImm(0.0));
+  });
+  Tensor e = Compute("E", {rows, cols}, [&](const std::vector<Expr>& i) {
+    Expr r = ReduceAxis(inner, "k");
+    return Sum(c(i[0], r) * d(r, i[1]), {r});
+  });
+  return ComputeDAG({a, d, b, c, e});
+}
+
+// Plain matmul without consumers.
+inline ComputeDAG Matmul(int64_t n = 16, int64_t m = 16, int64_t k = 16) {
+  Tensor a = Placeholder("A", {n, k});
+  Tensor b = Placeholder("B", {k, m});
+  Tensor c = Compute("C", {n, m}, [&](const std::vector<Expr>& i) {
+    Expr r = ReduceAxis(k, "k");
+    return Sum(a(i[0], r) * b(r, i[1]), {r});
+  });
+  return ComputeDAG({a, b, c});
+}
+
+// Matrix 2-norm (the NRM operator): reduction-heavy, little space parallelism.
+inline ComputeDAG MatrixNorm(int64_t n = 8, int64_t m = 64) {
+  Tensor a = Placeholder("A", {n, m});
+  Tensor s = Compute("S", {n}, [&](const std::vector<Expr>& i) {
+    Expr r = ReduceAxis(m, "k");
+    return Sum(a(i[0], r) * a(i[0], r), {r});
+  });
+  Tensor nrm = Compute("N", {n}, [&](const std::vector<Expr>& i) {
+    return CallIntrinsic(Intrinsic::kSqrt, {s(i[0])});
+  });
+  return ComputeDAG({a, s, nrm});
+}
+
+}  // namespace testing
+}  // namespace ansor
+
+#endif  // ANSOR_TESTS_TESTING_H_

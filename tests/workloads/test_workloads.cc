@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/workloads/operators.h"
+#include "src/workloads/suites.h"
+#include "src/exec/interpreter.h"
+#include "src/sampler/annotation.h"
+#include "src/sketch/sketch.h"
+
+namespace ansor {
+namespace {
+
+// Every operator definition must execute and be internally consistent.
+
+TEST(Operators, Conv1dShapeAndSemantics) {
+  ComputeDAG dag = MakeConv1d(1, 2, 8, 3, 3, 1, 1);
+  int idx = dag.OpIndexOf("conv1d");
+  ASSERT_GE(idx, 0);
+  EXPECT_EQ(dag.op(idx)->output->shape, (std::vector<int64_t>{1, 3, 8}));
+  auto outputs = dag.Execute(dag.RandomInputs(1));
+  EXPECT_EQ(outputs.at("conv1d").size(), 24u);
+}
+
+TEST(Operators, Conv2dMatchesDirectComputation) {
+  ComputeDAG dag = MakeConv2d(1, 1, 4, 4, 1, 3, 3, 1, 1);
+  auto inputs = dag.RandomInputs(2);
+  auto outputs = dag.Execute(inputs);
+  const auto& data = inputs.at("data");
+  const auto& weight = inputs.at("weight");
+  const auto& out = outputs.at("conv2d");
+  // Direct dense conv with zero padding.
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      float expect = 0.0f;
+      for (int ky = 0; ky < 3; ++ky) {
+        for (int kx = 0; kx < 3; ++kx) {
+          int sy = y + ky - 1;
+          int sx = x + kx - 1;
+          if (sy >= 0 && sy < 4 && sx >= 0 && sx < 4) {
+            expect += data[static_cast<size_t>(sy * 4 + sx)] *
+                      weight[static_cast<size_t>(ky * 3 + kx)];
+          }
+        }
+      }
+      EXPECT_NEAR(out[static_cast<size_t>(y * 4 + x)], expect, 1e-4);
+    }
+  }
+}
+
+TEST(Operators, Conv2dStrideAndOutputSize) {
+  ComputeDAG dag = MakeConv2d(1, 8, 14, 14, 16, 3, 3, 2, 1);
+  int idx = dag.OpIndexOf("conv2d");
+  EXPECT_EQ(dag.op(idx)->output->shape, (std::vector<int64_t>{1, 16, 7, 7}));
+}
+
+TEST(Operators, GroupConvChannelsPartitioned) {
+  // With 2 groups, output channel 0 must not depend on input channels of
+  // group 1. Zero out group-0 inputs and check output is zero.
+  ComputeDAG dag = MakeConv2d(1, 4, 4, 4, 4, 1, 1, 1, 0, 1, 2);
+  auto inputs = dag.RandomInputs(3);
+  auto& data = inputs.at("data");
+  // Zero channels 0-1 (group 0).
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 16; ++i) {
+      data[static_cast<size_t>(c * 16 + i)] = 0.0f;
+    }
+  }
+  auto outputs = dag.Execute(inputs);
+  const auto& out = outputs.at("conv2d");
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)], 0.0f);       // co=0 reads group 0
+    EXPECT_EQ(out[static_cast<size_t>(16 + i)], 0.0f);  // co=1 reads group 0
+  }
+}
+
+TEST(Operators, DilatedConvReachesFartherPixels) {
+  ComputeDAG dag = MakeConv2d(1, 1, 8, 8, 1, 3, 3, 1, 2, 2);
+  int idx = dag.OpIndexOf("conv2d");
+  EXPECT_EQ(dag.op(idx)->output->shape, (std::vector<int64_t>{1, 1, 8, 8}));
+  auto outputs = dag.Execute(dag.RandomInputs(4));
+  EXPECT_EQ(outputs.at("conv2d").size(), 64u);
+}
+
+TEST(Operators, DepthwiseConvPerChannel) {
+  // Depthwise: output channel c depends only on input channel c.
+  ComputeDAG dag = MakeDepthwiseConv2d(1, 2, 4, 4, 3, 3, 1, 1);
+  auto inputs = dag.RandomInputs(5);
+  auto& data = inputs.at("data");
+  for (int i = 0; i < 16; ++i) {
+    data[static_cast<size_t>(i)] = 0.0f;  // zero channel 0
+  }
+  auto outputs = dag.Execute(inputs);
+  const auto& out = outputs.at("dwconv2d");
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)], 0.0f);
+    EXPECT_NE(out[static_cast<size_t>(16 + i)], 0.0f);
+  }
+}
+
+TEST(Operators, TransposedConvUpsamples) {
+  ComputeDAG dag = MakeTransposedConv2d(1, 2, 4, 4, 2, 4, 4, 2, 1);
+  int idx = dag.OpIndexOf("t2d");
+  // (4-1)*2 - 2 + 4 = 8.
+  EXPECT_EQ(dag.op(idx)->output->shape, (std::vector<int64_t>{1, 2, 8, 8}));
+  auto outputs = dag.Execute(dag.RandomInputs(6));
+  double sum = 0.0;
+  for (float v : outputs.at("t2d")) {
+    sum += std::fabs(static_cast<double>(v));
+  }
+  EXPECT_GT(sum, 0.0);
+}
+
+TEST(Operators, TransposedConvMatchesUpsampleDefinition) {
+  // T2D with a delta input: a single 1 at position (0,0) must imprint the
+  // flipped kernel into the output at the mapped location.
+  ComputeDAG dag = MakeTransposedConv2d(1, 1, 2, 2, 1, 2, 2, 2, 0);
+  auto inputs = dag.RandomInputs(7);
+  auto& data = inputs.at("data");
+  std::fill(data.begin(), data.end(), 0.0f);
+  data[0] = 1.0f;  // delta at (0, 0)
+  auto outputs = dag.Execute(inputs);
+  const auto& weight = inputs.at("weight");
+  const auto& out = outputs.at("t2d");  // shape 1x1x4x4
+  // out[y, x] = weight[y, x] for y, x in [0, 2) (stride 2, no padding).
+  for (int y = 0; y < 2; ++y) {
+    for (int x = 0; x < 2; ++x) {
+      EXPECT_NEAR(out[static_cast<size_t>(y * 4 + x)],
+                  weight[static_cast<size_t>(y * 2 + x)], 1e-5);
+    }
+  }
+}
+
+TEST(Operators, CapsuleConvShape) {
+  ComputeDAG dag = MakeCapsuleConv2d(1, 2, 4, 4, 2, 3, 3, 1, 1);
+  int idx = dag.OpIndexOf("capsule");
+  EXPECT_EQ(dag.op(idx)->output->shape, (std::vector<int64_t>{1, 4, 4, 2, 4, 4}));
+  auto outputs = dag.Execute(dag.RandomInputs(8));
+  EXPECT_EQ(outputs.at("capsule").size(), 512u);
+}
+
+TEST(Operators, BatchMatmulShape) {
+  ComputeDAG dag = MakeMatmul(8, 16, 32, 4);
+  int idx = dag.OpIndexOf("batch_matmul");
+  EXPECT_EQ(dag.op(idx)->output->shape, (std::vector<int64_t>{4, 8, 16}));
+}
+
+TEST(Operators, NormComputesTwoNorm) {
+  ComputeDAG dag = MakeNorm(2, 16);
+  auto inputs = dag.RandomInputs(9);
+  auto outputs = dag.Execute(inputs);
+  const auto& a = inputs.at("A");
+  const auto& norm = outputs.at("norm");
+  for (int b = 0; b < 2; ++b) {
+    double expect = 0.0;
+    for (int k = 0; k < 16; ++k) {
+      double v = a[static_cast<size_t>(b * 16 + k)];
+      expect += v * v;
+    }
+    EXPECT_NEAR(norm[static_cast<size_t>(b)], std::sqrt(expect), 1e-4);
+  }
+}
+
+TEST(Operators, ConvLayerAppliesBnAndRelu) {
+  ComputeDAG dag = MakeConvLayer(1, 2, 4, 4, 2, 3, 3, 1, 1);
+  auto inputs = dag.RandomInputs(10);
+  auto outputs = dag.Execute(inputs);
+  const auto& conv = outputs.at("conv2d");
+  const auto& relu = outputs.at("relu");
+  const auto& scale = inputs.at("bn_scale");
+  const auto& shift = inputs.at("bn_shift");
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 16; ++i) {
+      size_t idx = static_cast<size_t>(c * 16 + i);
+      float expect = std::max(
+          conv[idx] * scale[static_cast<size_t>(c)] + shift[static_cast<size_t>(c)], 0.0f);
+      EXPECT_NEAR(relu[idx], expect, 1e-4);
+    }
+  }
+}
+
+TEST(Operators, TBGMatchesAttentionScores) {
+  ComputeDAG dag = MakeTBG(1, 4, 2, 8);
+  auto inputs = dag.RandomInputs(11);
+  auto outputs = dag.Execute(inputs);
+  const auto& q = inputs.at("Q");
+  const auto& k = inputs.at("K");
+  const auto& out = outputs.at("tbg");  // [1, 2, 4, 4]
+  for (int h = 0; h < 2; ++h) {
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        double expect = 0.0;
+        for (int d = 0; d < 8; ++d) {
+          expect += q[static_cast<size_t>((i * 2 + h) * 8 + d)] *
+                    k[static_cast<size_t>((j * 2 + h) * 8 + d)];
+        }
+        EXPECT_NEAR(out[static_cast<size_t>((h * 4 + i) * 4 + j)], expect, 1e-3);
+      }
+    }
+  }
+}
+
+TEST(Operators, DenseAppliesBiasRelu) {
+  ComputeDAG dag = MakeDense(2, 8, 4);
+  auto outputs = dag.Execute(dag.RandomInputs(12));
+  for (float v : outputs.at("bias_relu")) {
+    EXPECT_GE(v, 0.0f);
+  }
+}
+
+TEST(Suites, SingleOpSuiteCovers10OperatorsTimes4Shapes) {
+  auto suite = SingleOpSuite(1);
+  EXPECT_EQ(suite.size(), 40u);
+  std::map<std::string, int> counts;
+  for (const auto& c : suite) {
+    counts[c.op] += 1;
+    EXPECT_GT(c.dag.FlopCount(), 0.0);
+  }
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [op, count] : counts) {
+    EXPECT_EQ(count, 4) << op;
+  }
+}
+
+TEST(Suites, SubgraphSuiteShapes) {
+  auto suite = SubgraphSuite(1);
+  EXPECT_EQ(suite.size(), 8u);
+}
+
+TEST(Suites, NetworksHaveTasksAndWeights) {
+  for (const NetworkTasks& net : AllNetworks(1)) {
+    EXPECT_FALSE(net.tasks.empty()) << net.name;
+    int total_weight = 0;
+    for (const SearchTask& task : net.tasks) {
+      EXPECT_GT(task.weight, 0);
+      EXPECT_GT(task.flop_count(), 0.0);
+      EXPECT_FALSE(task.tag.empty());
+      total_weight += task.weight;
+    }
+    EXPECT_GE(total_weight, static_cast<int>(net.tasks.size()));
+  }
+}
+
+TEST(Suites, ResNetHasManySubgraphOccurrences) {
+  // The paper: 29 unique subgraphs among >50 convolution layers; our encoding
+  // keeps the many-occurrence structure.
+  NetworkTasks net = ResNet50Tasks(1);
+  int total = 0;
+  for (const SearchTask& task : net.tasks) {
+    total += task.weight;
+  }
+  EXPECT_GE(total, 40);
+}
+
+}  // namespace
+}  // namespace ansor
+
+namespace ansor {
+namespace {
+
+TEST(Operators, MaxPoolComputesWindowMax) {
+  ComputeDAG dag = MakeMaxPool2d(1, 1, 4, 4, 2, 2);
+  auto inputs = dag.RandomInputs(13);
+  auto outputs = dag.Execute(inputs);
+  const auto& in = inputs.at("data");
+  const auto& out = outputs.at("maxpool");
+  ASSERT_EQ(out.size(), 4u);
+  for (int y = 0; y < 2; ++y) {
+    for (int x = 0; x < 2; ++x) {
+      float expect = -1e30f;
+      for (int dy = 0; dy < 2; ++dy) {
+        for (int dx = 0; dx < 2; ++dx) {
+          expect = std::max(expect, in[static_cast<size_t>((y * 2 + dy) * 4 + x * 2 + dx)]);
+        }
+      }
+      EXPECT_FLOAT_EQ(out[static_cast<size_t>(y * 2 + x)], expect);
+    }
+  }
+}
+
+TEST(Operators, SoftmaxRowsSumToOne) {
+  ComputeDAG dag = MakeSoftmax(4, 16);
+  auto outputs = dag.Execute(dag.RandomInputs(14));
+  const auto& out = outputs.at("softmax");
+  for (int r = 0; r < 4; ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < 16; ++c) {
+      double v = out[static_cast<size_t>(r * 16 + c)];
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST(Operators, MaxPoolSchedulesVerify) {
+  // Max-reduction through the whole schedule pipeline: split + reorder on a
+  // max-reduce stage must preserve semantics (init value is -inf, not 0).
+  ComputeDAG dag = MakeMaxPool2d(1, 2, 8, 8, 2, 2);
+  State state(&dag);
+  ASSERT_TRUE(state.Split("maxpool", 2, {2}));
+  ASSERT_TRUE(state.Reorder("maxpool", {4, 0, 1, 2, 3, 5, 6}));
+  EXPECT_EQ(VerifyAgainstNaive(state), "");
+}
+
+TEST(Operators, SoftmaxPipelineSamplesVerify) {
+  ComputeDAG dag = MakeSoftmax(4, 32);
+  auto sketches = GenerateSketches(&dag);
+  ASSERT_FALSE(sketches.empty());
+  Rng rng(15);
+  int verified = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    State p = SampleCompleteProgram(sketches[rng.Index(sketches.size())], &dag, &rng);
+    if (p.failed() || !Lower(p).ok) {
+      continue;
+    }
+    EXPECT_EQ(VerifyAgainstNaive(p), "") << p.ToString();
+    ++verified;
+  }
+  EXPECT_GT(verified, 4);
+}
+
+}  // namespace
+}  // namespace ansor
