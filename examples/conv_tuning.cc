@@ -3,6 +3,7 @@
 // a single-case slice of the paper's Figure 6 experiment.
 #include <cstdio>
 
+#include "examples/example_util.h"
 #include "src/core/ansor.h"
 
 int main() {
@@ -24,7 +25,8 @@ int main() {
   // AutoTVM-style template search.
   {
     ansor::Measurer measurer(machine);
-    ansor::TuneResult r = ansor::TemplateSearch(task, &measurer, /*trials=*/64);
+    ansor::TuneResult r =
+        ansor::TemplateSearch(task, &measurer, /*trials=*/ansor::examples::ScaledTrials(64));
     std::printf("%-24s %8.3f ms  %8.1f GFLOPS  (%lld trials)\n",
                 "template search:", r.best_seconds * 1e3, gflop / r.best_seconds,
                 static_cast<long long>(measurer.trial_count()));
@@ -34,9 +36,11 @@ int main() {
     ansor::Measurer measurer(machine);
     ansor::GbdtCostModel model;
     ansor::SearchOptions options;
-    options.population = 32;
+    options.population = ansor::examples::ScaledPopulation(32);
     options.generations = 3;
-    ansor::TuneResult r = ansor::TuneTask(task, &measurer, &model, /*trials=*/64, 16, options);
+    ansor::TuneResult r = ansor::TuneTask(task, &measurer, &model,
+                                          /*trials=*/ansor::examples::ScaledTrials(64), 16,
+                                          options);
     std::printf("%-24s %8.3f ms  %8.1f GFLOPS  (%lld trials)\n",
                 "Ansor:", r.best_seconds * 1e3, gflop / r.best_seconds,
                 static_cast<long long>(measurer.trial_count()));

@@ -7,6 +7,7 @@
 // (useful for very deep reductions on machines with deep cache hierarchies).
 #include <cstdio>
 
+#include "examples/example_util.h"
 #include "src/core/ansor.h"
 #include "src/sketch/sketch.h"
 
@@ -48,9 +49,11 @@ int main() {
   ansor::SearchTask task = ansor::MakeSearchTask("deep-matmul", dag);
   ansor::SearchOptions options;
   options.sketch = with_custom;
-  options.population = 24;
+  options.population = ansor::examples::ScaledPopulation(24);
   options.generations = 2;
-  ansor::TuneResult r = ansor::TuneTask(task, &measurer, &model, /*trials=*/48, 16, options);
+  ansor::TuneResult r = ansor::TuneTask(task, &measurer, &model,
+                                        /*trials=*/ansor::examples::ScaledTrials(48), 16,
+                                        options);
   if (r.best_state.has_value()) {
     std::printf("\nbest program with custom rule: %.3f ms, %.1f GFLOPS\n",
                 r.best_seconds * 1e3, r.best_throughput / 1e9);

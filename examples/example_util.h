@@ -1,0 +1,37 @@
+// Shared helper for the example binaries: one environment knob that scales
+// every search budget, following the same pattern as ANSOR_BENCH_SCALE in
+// bench/bench_util.h but with its own (deliberately lower) clamp and floors —
+// examples only need to demonstrate the API, benches need statistically
+// meaningful trial counts.
+//
+// The CTest smoke group (examples/CMakeLists.txt) runs each example with
+// ANSOR_EXAMPLE_SCALE=0.05 so the binaries finish in seconds while still
+// exercising the full pipeline; interactive runs default to 1.0.
+#ifndef ANSOR_EXAMPLES_EXAMPLE_UTIL_H_
+#define ANSOR_EXAMPLES_EXAMPLE_UTIL_H_
+
+#include <algorithm>
+
+#include "src/support/util.h"
+
+namespace ansor {
+namespace examples {
+
+inline double Scale() { return std::max(0.01, EnvDouble("ANSOR_EXAMPLE_SCALE", 1.0)); }
+
+// Measurement-trial budgets: keep at least a handful so the search still
+// completes a round and produces a best program.
+inline int ScaledTrials(int base) {
+  return std::max(4, static_cast<int>(base * Scale()));
+}
+
+// Evolutionary population / per-round sample counts: a slightly higher floor
+// so selection pressure remains meaningful at tiny scales.
+inline int ScaledPopulation(int base) {
+  return std::max(8, static_cast<int>(base * Scale()));
+}
+
+}  // namespace examples
+}  // namespace ansor
+
+#endif  // ANSOR_EXAMPLES_EXAMPLE_UTIL_H_

@@ -4,6 +4,7 @@
 // the end-to-end latency — a small-budget version of the Figure 10 setup.
 #include <cstdio>
 
+#include "examples/example_util.h"
 #include "src/core/ansor.h"
 
 int main() {
@@ -19,12 +20,13 @@ int main() {
     specs[0].task_indices.push_back(static_cast<int>(i));
   }
   ansor::TaskSchedulerOptions options;
-  options.measures_per_round = 10;
-  options.search.population = 24;
+  options.measures_per_round = ansor::examples::ScaledTrials(10);
+  options.search.population = ansor::examples::ScaledPopulation(24);
   options.search.generations = 2;
   ansor::TaskScheduler scheduler(net.tasks, specs, ansor::Objective::SumLatency(), &measurer,
                                  &model, options);
-  scheduler.Tune(/*total_rounds=*/3 * static_cast<int>(net.tasks.size()));
+  int rounds_per_task = std::max(1, static_cast<int>(3 * ansor::examples::Scale()));
+  scheduler.Tune(/*total_rounds=*/rounds_per_task * static_cast<int>(net.tasks.size()));
 
   std::printf("\n%-16s %7s %7s %12s %14s\n", "task", "weight", "rounds", "latency(us)",
               "GFLOPS");

@@ -8,6 +8,7 @@
 // throughput are printed.
 #include <cstdio>
 
+#include "examples/example_util.h"
 #include "src/core/ansor.h"
 
 int main() {
@@ -19,7 +20,11 @@ int main() {
   //    annotation + evolutionary fine-tuning with a learned cost model.
   ansor::AnsorOptions options;
   options.target = ansor::TargetKind::kIntelCpu;
-  ansor::AnsorResult result = ansor::AutoSchedule(dag, /*num_measure_trials=*/64, options);
+  options.search.population = ansor::examples::ScaledPopulation(options.search.population);
+  options.search.random_samples_per_round =
+      ansor::examples::ScaledPopulation(options.search.random_samples_per_round);
+  ansor::AnsorResult result = ansor::AutoSchedule(
+      dag, /*num_measure_trials=*/ansor::examples::ScaledTrials(64), options);
 
   if (!result.ok) {
     std::printf("search failed to find a valid program\n");

@@ -3,6 +3,7 @@
 // best schedule WITHOUT re-running the search (TVM-style record files).
 #include <cstdio>
 
+#include "examples/example_util.h"
 #include "src/core/ansor.h"
 #include "src/search/record_log.h"
 
@@ -17,10 +18,11 @@ int main() {
     ansor::GbdtCostModel model;
     ansor::RecordLog log;
     ansor::SearchOptions options;
-    options.population = 24;
+    options.population = ansor::examples::ScaledPopulation(24);
     options.generations = 2;
     options.record_log = &log;
-    ansor::TuneResult r = ansor::TuneTask(task, &measurer, &model, /*trials=*/48, 16,
+    ansor::TuneResult r = ansor::TuneTask(task, &measurer, &model,
+                                          /*trials=*/ansor::examples::ScaledTrials(48), 16,
                                           options);
     log.SaveToFile(log_path);
     std::printf("tuned: best %.3f ms; %zu records saved to %s\n", r.best_seconds * 1e3,

@@ -3,6 +3,7 @@
 
 #include "src/core/ansor.h"
 #include "src/exec/interpreter.h"
+#include "tests/testing.h"
 
 namespace ansor {
 namespace {
@@ -10,8 +11,7 @@ namespace {
 AnsorOptions FastOptions() {
   AnsorOptions options;
   options.measures_per_round = 8;
-  options.search.population = 12;
-  options.search.generations = 1;
+  options.search = testing::SmallSearchOptions(/*population=*/12, /*generations=*/1);
   options.search.random_samples_per_round = 6;
   return options;
 }
@@ -53,9 +53,7 @@ TEST(EndToEnd, BestProgramOfSearchIsCorrect) {
   Measurer measurer(MachineModel::IntelCpu20Core(), mo);
   GbdtCostModel model;
   SearchTask task = MakeSearchTask("conv", dag);
-  SearchOptions options;
-  options.population = 12;
-  options.generations = 2;
+  SearchOptions options = testing::SmallSearchOptions(/*population=*/12, /*generations=*/2);
   TuneResult result = TuneTask(task, &measurer, &model, 24, 8, options);
   ASSERT_TRUE(result.best_state.has_value());
   EXPECT_EQ(VerifyAgainstNaive(*result.best_state), "");

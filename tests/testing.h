@@ -8,9 +8,23 @@
 
 #include "src/dag/compute_dag.h"
 #include "src/expr/operation.h"
+#include "src/search/search_policy.h"
 
 namespace ansor {
 namespace testing {
+
+// Small evolutionary-search budget shared by the search / integration suites:
+// large enough for the qualitative paper claims (tuned beats random, full
+// space beats limited space) to hold deterministically, small enough that the
+// whole suite stays well under CI's two-minute ctest budget even in the
+// sanitizer presets.
+inline SearchOptions SmallSearchOptions(int population = 16, int generations = 2) {
+  SearchOptions options;
+  options.population = population;
+  options.generations = generations;
+  options.random_samples_per_round = 8;
+  return options;
+}
 
 // Example input 1 of Figure 5: C = A x B followed by ReLU, square matrices.
 inline ComputeDAG MatmulRelu(int64_t n = 16, int64_t m = 16, int64_t k = 16) {
