@@ -1,0 +1,78 @@
+// Micro-benchmark for the evolutionary-search hot path (paper §5.1): child
+// generation throughput (children/sec) and the per-generation crossover
+// score cache hit rate. Emits one machine-readable "BENCH_JSON {...}" line
+// so search throughput can be tracked across commits.
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "src/support/thread_pool.h"
+
+namespace ansor {
+namespace bench {
+namespace {
+
+int Run() {
+  ComputeDAG dag = MakeMatmul(64, 64, 64);
+  Rng init_rng(1);
+  auto init = SampleLowerablePopulation(&dag, 16, &init_rng);
+
+  // Train the cost model on the initial population so PredictStatements does
+  // real per-row work, as in a warmed-up search.
+  Measurer measurer(MachineModel::IntelCpu20Core());
+  GbdtCostModel model;
+  std::vector<std::vector<std::vector<float>>> features;
+  std::vector<double> throughputs;
+  for (const State& s : init) {
+    features.push_back(ExtractStateFeatures(s));
+    MeasureResult r = measurer.Measure(s);
+    throughputs.push_back(r.valid ? r.throughput : 0.0);
+  }
+  model.Update(dag.CanonicalHash(), features, throughputs);
+
+  EvolutionOptions options;  // default population/generations: the hot path
+  int repeats = std::max(1, static_cast<int>(3 * Scale()));
+
+  PrintHeader("micro_evolution: evolutionary-search child generation");
+  std::printf("population=%d generations=%d crossover_p=%.2f repeats=%d threads=%zu\n",
+              options.population, options.generations, options.crossover_probability,
+              repeats, ThreadPool::Global().num_threads());
+
+  EvolutionStats total;
+  double elapsed = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    EvolutionarySearch es(&dag, &model, Rng(100 + static_cast<uint64_t>(r)), options);
+    auto t0 = std::chrono::steady_clock::now();
+    auto best = es.Evolve(init, 8);
+    auto t1 = std::chrono::steady_clock::now();
+    elapsed += std::chrono::duration<double>(t1 - t0).count();
+    const EvolutionStats& stats = es.stats();
+    total.children_generated += stats.children_generated;
+    total.child_attempts += stats.child_attempts;
+    total.crossover_score_hits += stats.crossover_score_hits;
+    total.crossover_score_misses += stats.crossover_score_misses;
+  }
+  double children_per_sec =
+      static_cast<double>(total.children_generated) / std::max(elapsed, 1e-12);
+  double attempts_per_sec =
+      static_cast<double>(total.child_attempts) / std::max(elapsed, 1e-12);
+  double hit_rate = total.CacheHitRate();
+
+  std::printf("children generated: %lld (of %lld attempts) in %.3f s\n",
+              static_cast<long long>(total.children_generated),
+              static_cast<long long>(total.child_attempts), elapsed);
+  std::printf("children/sec: %.0f   attempts/sec: %.0f\n", children_per_sec, attempts_per_sec);
+  std::printf("crossover score cache: %lld hits / %lld misses (hit rate %.1f%%)\n",
+              static_cast<long long>(total.crossover_score_hits),
+              static_cast<long long>(total.crossover_score_misses), 100.0 * hit_rate);
+  std::printf("BENCH_JSON {\"bench\":\"micro_evolution\",\"children_per_sec\":%.1f,"
+              "\"attempts_per_sec\":%.1f,\"cache_hit_rate\":%.4f,\"threads\":%zu}\n",
+              children_per_sec, attempts_per_sec, hit_rate,
+              ThreadPool::Global().num_threads());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ansor
+
+int main() { return ansor::bench::Run(); }

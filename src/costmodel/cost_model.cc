@@ -6,6 +6,16 @@
 
 namespace ansor {
 
+std::vector<std::vector<double>> CostModel::PredictStatementsBatch(
+    const std::vector<const std::vector<std::vector<float>>*>& programs) {
+  std::vector<std::vector<double>> scores;
+  scores.reserve(programs.size());
+  for (const auto* rows : programs) {
+    scores.push_back(PredictStatements(*rows));
+  }
+  return scores;
+}
+
 GbdtCostModel::GbdtCostModel(GbdtParams params) : params_(params), model_(params) {}
 
 void GbdtCostModel::Update(

@@ -37,6 +37,13 @@ class CostModel {
   // score the rewriting steps of individual DAG nodes).
   virtual std::vector<double> PredictStatements(
       const std::vector<std::vector<float>>& rows) = 0;
+
+  // Batched form of PredictStatements: scores several programs in one call
+  // (evolutionary search batches all crossover-parent scoring of a wave).
+  // Entries are non-null; a program with no rows (failed lowering) yields an
+  // empty score vector. The default implementation loops PredictStatements.
+  virtual std::vector<std::vector<double>> PredictStatementsBatch(
+      const std::vector<const std::vector<std::vector<float>>*>& programs);
 };
 
 // The learned GBDT model of §5.2.

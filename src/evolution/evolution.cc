@@ -1,35 +1,101 @@
 #include "src/evolution/evolution.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
-#include "src/support/thread_pool.h"
 #include "src/support/util.h"
 
 namespace ansor {
 namespace {
 
-std::string StepSignature(const State& state) {
-  std::string sig;
-  for (const Step& step : state.steps()) {
-    sig += step.ToString();
-    sig += ";";
+// Crossover requires the parents to share a sketch skeleton: the same
+// (kind, stage) step sequence. Checked before scoring so incompatible pairs
+// never cost a model call.
+bool SkeletonsMatch(const State& a, const State& b) {
+  const std::vector<Step>& sa = a.steps();
+  const std::vector<Step>& sb = b.steps();
+  if (sa.size() != sb.size()) {
+    return false;
   }
-  return sig;
+  for (size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i].kind != sb[i].kind || sa[i].stage != sb[i].stage) {
+      return false;
+    }
+  }
+  return true;
 }
 
-State FailedState(const ComputeDAG* dag) {
-  State s(dag);
-  s.Split("__invalid__", 0, {1});  // poisons the state
-  return s;
+// Sums per-row statement predictions into per-stage scores. The bound over
+// both sizes defends against a model returning the wrong row count.
+void AccumulateStageScores(const std::vector<double>& preds,
+                           const std::vector<std::string>& row_stages,
+                           CrossoverScoreCache::StageScores* scores) {
+  for (size_t r = 0; r < preds.size() && r < row_stages.size(); ++r) {
+    (*scores)[row_stages[r]] += preds[r];
+  }
 }
 
 }  // namespace
 
+// --- CrossoverScoreCache ------------------------------------------------------
+
+CrossoverScoreCache::CrossoverScoreCache(
+    const std::vector<std::vector<std::vector<float>>>* rows,
+    const std::vector<std::vector<std::string>>* row_stages, CostModel* model)
+    : rows_(rows), row_stages_(row_stages), model_(model) {
+  CHECK_EQ(rows_->size(), row_stages_->size());
+  scores_.resize(rows_->size());
+  status_.assign(rows_->size(), 0);
+}
+
+void CrossoverScoreCache::Request(size_t i) {
+  CHECK_LT(i, status_.size());
+  if (status_[i] != 0) {
+    ++hits_;
+    return;
+  }
+  ++misses_;
+  status_[i] = 1;
+  pending_.push_back(i);
+}
+
+void CrossoverScoreCache::Flush() {
+  if (pending_.empty()) {
+    return;
+  }
+  std::vector<const std::vector<std::vector<float>>*> programs;
+  programs.reserve(pending_.size());
+  for (size_t i : pending_) {
+    programs.push_back(&(*rows_)[i]);
+  }
+  std::vector<std::vector<double>> preds = model_->PredictStatementsBatch(programs);
+  for (size_t p = 0; p < pending_.size(); ++p) {
+    size_t i = pending_[p];
+    AccumulateStageScores(preds[p], (*row_stages_)[i], &scores_[i]);
+    status_[i] = 2;
+  }
+  pending_.clear();
+}
+
+const CrossoverScoreCache::StageScores& CrossoverScoreCache::Get(size_t i) const {
+  CHECK_LT(i, status_.size());
+  CHECK_EQ(status_[i], 2);
+  return scores_[i];
+}
+
+// --- EvolutionarySearch -------------------------------------------------------
+
 EvolutionarySearch::EvolutionarySearch(const ComputeDAG* dag, CostModel* model, Rng rng,
                                        EvolutionOptions options)
     : dag_(dag), model_(model), rng_(rng), options_(options) {}
+
+State EvolutionarySearch::Normalized(State state) const {
+  if (!state.failed()) {
+    return state;
+  }
+  return State::Failure(dag_, state.error().empty() ? "invalid edit" : state.error());
+}
 
 State EvolutionarySearch::ReplayWithSplitEdit(
     const std::vector<Step>& steps,
@@ -41,56 +107,64 @@ State EvolutionarySearch::ReplayWithSplitEdit(
       int stage_idx = state.StageIndex(step.stage);
       if (stage_idx < 0 || step.iter < 0 ||
           step.iter >= static_cast<int>(state.stage(stage_idx).iters.size())) {
-        return FailedState(dag_);
+        return State::Failure(dag_, "split edit targets a missing iterator");
       }
       int64_t extent = state.stage(stage_idx).iters[static_cast<size_t>(step.iter)].extent;
       edit(idx, extent, &step.lengths);
       if (!state.Split(step.stage, step.iter, step.lengths)) {
-        return state;
+        return Normalized(std::move(state));
       }
       continue;
     }
+    bool ok = true;
     switch (step.kind) {
       case StepKind::kFollowSplit:
-        if (!state.FollowSplit(step.stage, step.iter, step.src_step, step.n_parts)) {
-          return state;
-        }
+        ok = state.FollowSplit(step.stage, step.iter, step.src_step, step.n_parts);
         break;
       case StepKind::kFuse:
-        if (!state.Fuse(step.stage, step.iter, step.fuse_count)) return state;
+        ok = state.Fuse(step.stage, step.iter, step.fuse_count);
         break;
       case StepKind::kReorder:
-        if (!state.Reorder(step.stage, step.order)) return state;
+        ok = state.Reorder(step.stage, step.order);
         break;
       case StepKind::kComputeAt:
-        if (!state.ComputeAt(step.stage, step.target_stage, step.target_iter)) return state;
+        ok = state.ComputeAt(step.stage, step.target_stage, step.target_iter);
         break;
       case StepKind::kComputeInline:
-        if (!state.ComputeInline(step.stage)) return state;
+        ok = state.ComputeInline(step.stage);
         break;
       case StepKind::kComputeRoot:
-        if (!state.ComputeRoot(step.stage)) return state;
+        ok = state.ComputeRoot(step.stage);
         break;
       case StepKind::kCacheWrite:
-        if (!state.CacheWrite(step.stage, nullptr)) return state;
+        ok = state.CacheWrite(step.stage, nullptr);
         break;
       case StepKind::kRfactor:
-        if (!state.Rfactor(step.stage, step.iter, nullptr)) return state;
+        ok = state.Rfactor(step.stage, step.iter, nullptr);
         break;
       case StepKind::kAnnotation:
-        if (!state.Annotate(step.stage, step.iter, step.annotation)) return state;
+        ok = state.Annotate(step.stage, step.iter, step.annotation);
         break;
       case StepKind::kPragma:
-        if (!state.Pragma(step.stage, step.pragma_value)) return state;
+        ok = state.Pragma(step.stage, step.pragma_value);
         break;
       case StepKind::kSplit:
         break;
+    }
+    if (!ok) {
+      // Every State primitive sets failed() when it returns false (audited by
+      // tests/ir); normalize so the partial replay can never leak.
+      return Normalized(std::move(state));
     }
   }
   return state;
 }
 
 State EvolutionarySearch::MutateTileSize(const State& state) {
+  return MutateTileSize(state, &rng_);
+}
+
+State EvolutionarySearch::MutateTileSize(const State& state, Rng* rng) {
   // Pick a random split step with at least two levels, divide one level by a
   // random factor and multiply another level by it (paper: "keeps the product
   // of tile sizes equal to the original loop length").
@@ -102,9 +176,9 @@ State EvolutionarySearch::MutateTileSize(const State& state) {
     }
   }
   if (candidates.empty()) {
-    return FailedState(dag_);
+    return State::Failure(dag_, "no split step to mutate");
   }
-  size_t target = candidates[rng_.Index(candidates.size())];
+  size_t target = candidates[rng->Index(candidates.size())];
 
   return ReplayWithSplitEdit(state.steps(), [&](size_t idx, int64_t extent,
                                                 std::vector<int64_t>* lengths) {
@@ -131,8 +205,8 @@ State EvolutionarySearch::MutateTileSize(const State& state) {
     if (sources.empty()) {
       return;
     }
-    size_t src = sources[rng_.Index(sources.size())];
-    size_t dst = rng_.Index(n + 1);
+    size_t src = sources[rng->Index(sources.size())];
+    size_t dst = rng->Index(n + 1);
     if (dst == src) {
       dst = (dst + 1) % (n + 1);
     }
@@ -142,7 +216,7 @@ State EvolutionarySearch::MutateTileSize(const State& state) {
     if (divisors.size() <= 1) {
       return;
     }
-    int64_t f = divisors[1 + rng_.Index(divisors.size() - 1)];
+    int64_t f = divisors[1 + rng->Index(divisors.size() - 1)];
     if (src != 0) {
       (*lengths)[src - 1] /= f;
     }
@@ -154,6 +228,10 @@ State EvolutionarySearch::MutateTileSize(const State& state) {
 }
 
 State EvolutionarySearch::MutatePragma(const State& state) {
+  return MutatePragma(state, &rng_);
+}
+
+State EvolutionarySearch::MutatePragma(const State& state, Rng* rng) {
   std::vector<size_t> candidates;
   for (size_t i = 0; i < state.steps().size(); ++i) {
     if (state.steps()[i].kind == StepKind::kPragma) {
@@ -163,15 +241,18 @@ State EvolutionarySearch::MutatePragma(const State& state) {
   std::vector<Step> steps = state.steps();
   const auto& unroll_options = options_.sampler.unroll_options;
   if (candidates.empty() || unroll_options.empty()) {
-    return FailedState(dag_);
+    return State::Failure(dag_, "no pragma step to mutate");
   }
-  size_t target = candidates[rng_.Index(candidates.size())];
-  steps[target].pragma_value =
-      unroll_options[rng_.Index(unroll_options.size())];
-  return State::Replay(dag_, steps);
+  size_t target = candidates[rng->Index(candidates.size())];
+  steps[target].pragma_value = unroll_options[rng->Index(unroll_options.size())];
+  return Normalized(State::Replay(dag_, steps));
 }
 
 State EvolutionarySearch::MutateParallelGranularity(const State& state) {
+  return MutateParallelGranularity(state, &rng_);
+}
+
+State EvolutionarySearch::MutateParallelGranularity(const State& state, Rng* rng) {
   // Find a fuse step whose stage later receives a parallel annotation and
   // change its granularity by one level ("changes the granularity by either
   // fusing its adjacent loop levels or splitting it").
@@ -189,19 +270,22 @@ State EvolutionarySearch::MutateParallelGranularity(const State& state) {
     }
   }
   if (candidates.empty()) {
-    return FailedState(dag_);
+    return State::Failure(dag_, "no parallel fuse step to mutate");
   }
-  size_t target = candidates[rng_.Index(candidates.size())];
-  int delta = rng_.Bernoulli(0.5) ? 1 : -1;
+  size_t target = candidates[rng->Index(candidates.size())];
+  int delta = rng->Bernoulli(0.5) ? 1 : -1;
   steps[target].fuse_count += delta;
   if (steps[target].fuse_count < 2) {
-    return FailedState(dag_);
+    return State::Failure(dag_, "fuse count below minimum");
   }
-  State next = State::Replay(dag_, steps);
-  return next;
+  return Normalized(State::Replay(dag_, steps));
 }
 
 State EvolutionarySearch::MutateVectorize(const State& state) {
+  return MutateVectorize(state, &rng_);
+}
+
+State EvolutionarySearch::MutateVectorize(const State& state, Rng* rng) {
   std::vector<Step> steps = state.steps();
   std::vector<size_t> vec_steps;
   for (size_t i = 0; i < steps.size(); ++i) {
@@ -210,10 +294,10 @@ State EvolutionarySearch::MutateVectorize(const State& state) {
       vec_steps.push_back(i);
     }
   }
-  if (!vec_steps.empty() && rng_.Bernoulli(0.5)) {
+  if (!vec_steps.empty() && rng->Bernoulli(0.5)) {
     // Drop one vectorize annotation.
-    steps.erase(steps.begin() + static_cast<long>(vec_steps[rng_.Index(vec_steps.size())]));
-    return State::Replay(dag_, steps);
+    steps.erase(steps.begin() + static_cast<long>(vec_steps[rng->Index(vec_steps.size())]));
+    return Normalized(State::Replay(dag_, steps));
   }
   // Add a vectorize annotation to the innermost iterator of a random stage.
   std::vector<std::string> stages;
@@ -224,16 +308,20 @@ State EvolutionarySearch::MutateVectorize(const State& state) {
     }
   }
   if (stages.empty()) {
-    return FailedState(dag_);
+    return State::Failure(dag_, "no stage to vectorize");
   }
-  const std::string& stage = stages[rng_.Index(stages.size())];
+  const std::string& stage = stages[rng->Index(stages.size())];
   int idx = state.StageIndex(stage);
   steps.push_back(MakeAnnotationStep(
       stage, static_cast<int>(state.stage(idx).iters.size()) - 1, IterAnnotation::kVectorize));
-  return State::Replay(dag_, steps);
+  return Normalized(State::Replay(dag_, steps));
 }
 
 State EvolutionarySearch::MutateComputeLocation(const State& state) {
+  return MutateComputeLocation(state, &rng_);
+}
+
+State EvolutionarySearch::MutateComputeLocation(const State& state, Rng* rng) {
   std::vector<size_t> candidates;
   for (size_t i = 0; i < state.steps().size(); ++i) {
     if (state.steps()[i].kind == StepKind::kComputeAt) {
@@ -241,54 +329,53 @@ State EvolutionarySearch::MutateComputeLocation(const State& state) {
     }
   }
   if (candidates.empty()) {
-    return FailedState(dag_);
+    return State::Failure(dag_, "no compute_at step to mutate");
   }
   std::vector<Step> steps = state.steps();
-  Step& step = steps[candidates[rng_.Index(candidates.size())]];
+  Step& step = steps[candidates[rng->Index(candidates.size())]];
   int target_idx = state.StageIndex(step.target_stage);
   if (target_idx < 0) {
-    return FailedState(dag_);
+    return State::Failure(dag_, "compute_at target missing");
   }
   int n_iters = static_cast<int>(state.stage(target_idx).iters.size());
   if (n_iters == 0) {
-    return FailedState(dag_);
+    return State::Failure(dag_, "compute_at target has no iterators");
   }
-  step.target_iter = static_cast<int>(rng_.Int(0, n_iters - 1));
-  return State::Replay(dag_, steps);
+  step.target_iter = static_cast<int>(rng->Int(0, n_iters - 1));
+  return Normalized(State::Replay(dag_, steps));
+}
+
+CrossoverScoreCache::StageScores EvolutionarySearch::ComputeStageScores(const State& s) {
+  CrossoverScoreCache::StageScores scores;
+  LoweredProgram prog = Lower(s);
+  if (!prog.ok) {
+    return scores;
+  }
+  std::vector<std::string> row_stages;
+  auto rows = ExtractFeatures(prog, &row_stages);
+  AccumulateStageScores(model_->PredictStatements(rows), row_stages, &scores);
+  return scores;
 }
 
 State EvolutionarySearch::Crossover(const State& a, const State& b) {
-  // Node-based crossover: both parents must share the same sketch skeleton
-  // (same (kind, stage) step sequence); the child adopts, per DAG node, the
-  // step parameters of the parent whose node the cost model scores higher
-  // (with randomized tie-breaking for exploration).
+  if (!SkeletonsMatch(a, b)) {
+    return State::Failure(dag_, "crossover skeleton mismatch");
+  }
+  auto score_a = ComputeStageScores(a);
+  auto score_b = ComputeStageScores(b);
+  return Crossover(a, b, score_a, score_b, &rng_);
+}
+
+State EvolutionarySearch::Crossover(const State& a, const State& b,
+                                    const CrossoverScoreCache::StageScores& score_a,
+                                    const CrossoverScoreCache::StageScores& score_b,
+                                    Rng* rng) {
+  // Node-based crossover: the child adopts, per DAG node, the step parameters
+  // of the parent whose node the cost model scores higher (with randomized
+  // tie-breaking for exploration). Precondition: SkeletonsMatch(a, b) — every
+  // caller checks it before paying for parent scores.
   const std::vector<Step>& sa = a.steps();
   const std::vector<Step>& sb = b.steps();
-  if (sa.size() != sb.size()) {
-    return FailedState(dag_);
-  }
-  for (size_t i = 0; i < sa.size(); ++i) {
-    if (sa[i].kind != sb[i].kind || sa[i].stage != sb[i].stage) {
-      return FailedState(dag_);
-    }
-  }
-  // Score each stage of both parents.
-  auto stage_scores = [&](const State& s) {
-    std::unordered_map<std::string, double> scores;
-    LoweredProgram prog = Lower(s);
-    if (!prog.ok) {
-      return scores;
-    }
-    std::vector<std::string> row_stages;
-    auto rows = ExtractFeatures(prog, &row_stages);
-    auto preds = model_->PredictStatements(rows);
-    for (size_t i = 0; i < preds.size(); ++i) {
-      scores[row_stages[i]] += preds[i];
-    }
-    return scores;
-  };
-  auto score_a = stage_scores(a);
-  auto score_b = stage_scores(b);
 
   std::unordered_map<std::string, bool> take_b;
   auto choose = [&](const std::string& stage) {
@@ -296,11 +383,13 @@ State EvolutionarySearch::Crossover(const State& a, const State& b) {
     if (it != take_b.end()) {
       return it->second;
     }
-    double va = score_a.count(stage) > 0 ? score_a[stage] : 0.0;
-    double vb = score_b.count(stage) > 0 ? score_b[stage] : 0.0;
+    auto ita = score_a.find(stage);
+    auto itb = score_b.find(stage);
+    double va = ita != score_a.end() ? ita->second : 0.0;
+    double vb = itb != score_b.end() ? itb->second : 0.0;
     // Prefer the higher-scoring parent, explore with probability 0.2.
     bool pick_b = vb > va;
-    if (rng_.Bernoulli(0.2)) {
+    if (rng->Bernoulli(0.2)) {
       pick_b = !pick_b;
     }
     take_b[stage] = pick_b;
@@ -314,25 +403,28 @@ State EvolutionarySearch::Crossover(const State& a, const State& b) {
   }
   // Replay verifies dependency consistency; invalid merges are discarded
   // ("Ansor further verifies the merged programs").
-  return State::Replay(dag_, child);
+  return Normalized(State::Replay(dag_, child));
 }
 
-State EvolutionarySearch::RandomMutation(const State& state) {
-  switch (rng_.Int(0, 4)) {
+State EvolutionarySearch::RandomMutation(const State& state, Rng* rng) {
+  switch (rng->Int(0, 4)) {
     case 0:
-      return MutateTileSize(state);
+      return MutateTileSize(state, rng);
     case 1:
-      return MutatePragma(state);
+      return MutatePragma(state, rng);
     case 2:
-      return MutateParallelGranularity(state);
+      return MutateParallelGranularity(state, rng);
     case 3:
-      return MutateVectorize(state);
+      return MutateVectorize(state, rng);
     default:
-      return MutateComputeLocation(state);
+      return MutateComputeLocation(state, rng);
   }
 }
 
 std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, int num_out) {
+  stats_ = EvolutionStats();
+  ThreadPool& pool = ThreadPool::OrGlobal(options_.thread_pool);
+
   std::vector<State> population;
   for (const State& s : init) {
     if (!s.failed()) {
@@ -348,14 +440,21 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
   std::unordered_set<std::string> best_sigs;
 
   for (int gen = 0; gen <= options_.generations; ++gen) {
-    // Score the population with the learned model.
-    std::vector<std::vector<std::vector<float>>> features(population.size());
-    ThreadPool::Global().ParallelFor(population.size(), [&](size_t i) {
-      features[i] = ExtractStateFeatures(population[i]);
+    // Stage 1 (batched): lower + feature-extract the whole population in
+    // parallel, keeping per-row stage names for the crossover score cache,
+    // then score everything with one Predict call.
+    const size_t pop = population.size();
+    std::vector<std::vector<std::vector<float>>> features(pop);
+    std::vector<std::vector<std::string>> row_stages(pop);
+    pool.ParallelFor(pop, [&](size_t i) {
+      LoweredProgram prog = Lower(population[i]);
+      if (prog.ok) {
+        features[i] = ExtractFeatures(prog, &row_stages[i]);
+      }
     });
     std::vector<double> scores = model_->Predict(features);
 
-    for (size_t i = 0; i < population.size(); ++i) {
+    for (size_t i = 0; i < pop; ++i) {
       if (features[i].empty()) {
         continue;
       }
@@ -376,33 +475,89 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
       break;
     }
 
-    // Selection probabilities proportional to (shifted) fitness.
-    double min_score = *std::min_element(scores.begin(), scores.end());
-    std::vector<double> weights(scores.size());
-    for (size_t i = 0; i < scores.size(); ++i) {
-      weights[i] = scores[i] - min_score + 1e-3;
+    // Selection weights proportional to (shifted) fitness. States whose
+    // lowering or feature extraction failed get zero weight: they can never
+    // be picked as parents, so they drop out of the next population.
+    size_t n_valid = 0;
+    double min_score = 0.0;
+    for (size_t i = 0; i < pop; ++i) {
+      if (features[i].empty()) {
+        continue;
+      }
+      min_score = n_valid == 0 ? scores[i] : std::min(min_score, scores[i]);
+      ++n_valid;
+    }
+    if (n_valid == 0) {
+      break;
+    }
+    std::vector<double> weights(pop, 0.0);
+    for (size_t i = 0; i < pop; ++i) {
+      if (!features[i].empty()) {
+        weights[i] = scores[i] - min_score + 1e-3;
+      }
     }
 
+    // Stage 2 (parallel waves): generate children on the pool. Slots are
+    // planned serially — each forks its own RNG stream and draws its
+    // operator and parents — so the result is independent of thread count;
+    // workers then run the replay-heavy operators concurrently.
+    CrossoverScoreCache cache(&features, &row_stages, model_);
+    struct Slot {
+      Rng rng{0};
+      bool crossover = false;
+      bool dead = false;  // skeleton mismatch: fails without dispatching
+      size_t pa = 0;
+      size_t pb = 0;
+    };
     std::vector<State> next;
     next.reserve(static_cast<size_t>(options_.population));
     int attempts = 0;
     int max_attempts = options_.population * 8;
     while (static_cast<int>(next.size()) < options_.population &&
            attempts < max_attempts) {
-      ++attempts;
-      State child(dag_);
-      if (rng_.Uniform() < options_.crossover_probability && population.size() >= 2) {
-        size_t pa = rng_.WeightedIndex(weights);
-        size_t pb = rng_.WeightedIndex(weights);
-        child = Crossover(population[pa], population[pb]);
-      } else {
-        size_t p = rng_.WeightedIndex(weights);
-        child = RandomMutation(population[p]);
+      size_t wave =
+          std::min<size_t>(static_cast<size_t>(options_.population) - next.size(),
+                           static_cast<size_t>(max_attempts - attempts));
+      std::vector<Slot> slots(wave);
+      for (Slot& slot : slots) {
+        slot.rng = rng_.Fork();
+        slot.crossover =
+            slot.rng.Uniform() < options_.crossover_probability && n_valid >= 2;
+        slot.pa = slot.rng.WeightedIndex(weights);
+        if (slot.crossover) {
+          slot.pb = slot.rng.WeightedIndex(weights);
+          slot.dead = !SkeletonsMatch(population[slot.pa], population[slot.pb]);
+          if (!slot.dead) {
+            cache.Request(slot.pa);
+            cache.Request(slot.pb);
+          }
+        }
       }
-      if (!child.failed()) {
-        next.push_back(std::move(child));
+      cache.Flush();
+      std::vector<State> children(wave, State());
+      pool.ParallelFor(wave, [&](size_t s) {
+        Slot& slot = slots[s];
+        if (slot.dead) {
+          children[s] = State::Failure(dag_, "crossover skeleton mismatch");
+        } else if (slot.crossover) {
+          children[s] = Crossover(population[slot.pa], population[slot.pb],
+                                  cache.Get(slot.pa), cache.Get(slot.pb), &slot.rng);
+        } else {
+          children[s] = RandomMutation(population[slot.pa], &slot.rng);
+        }
+      });
+      for (size_t s = 0; s < wave; ++s) {
+        ++attempts;
+        ++stats_.child_attempts;
+        if (!children[s].failed() &&
+            static_cast<int>(next.size()) < options_.population) {
+          next.push_back(std::move(children[s]));
+          ++stats_.children_generated;
+        }
       }
     }
+    stats_.crossover_score_hits += cache.hits();
+    stats_.crossover_score_misses += cache.misses();
     if (next.empty()) {
       break;
     }

@@ -16,14 +16,28 @@
 //   * computation location    — moves a fused producer to another loop level;
 //   * node-based crossover    — per-DAG-node adoption of step parameters from
 //                               the parent whose node scores higher.
+//
+// The per-generation hot path is a parallel, batched pipeline:
+//   1. the whole population is lowered + feature-extracted in parallel and
+//      scored with one batched CostModel::Predict call;
+//   2. child generation runs on a thread pool in waves, each slot drawing
+//      from its own deterministically forked RNG stream, so results are
+//      bit-identical across thread counts for a fixed seed;
+//   3. crossover reads per-stage parent scores from a per-generation cache
+//      (CrossoverScoreCache): each parent is PredictStatements-scored at
+//      most once per generation, however many offspring it sires.
 #ifndef ANSOR_SRC_EVOLUTION_EVOLUTION_H_
 #define ANSOR_SRC_EVOLUTION_EVOLUTION_H_
 
+#include <functional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/costmodel/cost_model.h"
 #include "src/ir/state.h"
 #include "src/sampler/annotation.h"
+#include "src/support/thread_pool.h"
 
 namespace ansor {
 
@@ -32,6 +46,63 @@ struct EvolutionOptions {
   int generations = 4;
   double crossover_probability = 0.25;  // otherwise mutate
   SamplerOptions sampler;
+  // Pool running per-generation scoring and child generation. nullptr means
+  // ThreadPool::Global(). Injectable so tests can prove that search results
+  // are invariant to the thread count (pool size 1 vs N).
+  ThreadPool* thread_pool = nullptr;
+};
+
+// Counters for the child-generation hot path, reset by each Evolve() call.
+struct EvolutionStats {
+  int64_t child_attempts = 0;      // mutation/crossover slots executed
+  int64_t children_generated = 0;  // valid offspring admitted to a population
+  // Crossover parent stage-score lookups served from the per-generation
+  // cache vs computed fresh (the miss count is bounded by population size
+  // per generation; the serial code recomputed both parents every call).
+  int64_t crossover_score_hits = 0;
+  int64_t crossover_score_misses = 0;
+
+  double CacheHitRate() const {
+    int64_t total = crossover_score_hits + crossover_score_misses;
+    return total == 0 ? 0.0 : static_cast<double>(crossover_score_hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+// Per-generation cache of per-stage cost-model scores for crossover parents.
+// `rows` / `row_stages` hold the population's already-extracted feature rows
+// and their owning stage names (borrowed; must outlive the cache). Misses are
+// queued by Request() and computed by Flush() in one batched model call;
+// after Flush(), Get() is lock-free and safe from worker threads.
+class CrossoverScoreCache {
+ public:
+  using StageScores = std::unordered_map<std::string, double>;
+
+  CrossoverScoreCache(const std::vector<std::vector<std::vector<float>>>* rows,
+                      const std::vector<std::vector<std::string>>* row_stages,
+                      CostModel* model);
+
+  // Declares that member `i` is needed as a crossover parent: counts a cache
+  // hit when its scores are already computed or queued, a miss otherwise.
+  void Request(size_t i);
+  // Scores all queued misses with one CostModel::PredictStatementsBatch call.
+  void Flush();
+  // Scores for member `i`; Request+Flush must have covered it. Read-only.
+  const StageScores& Get(size_t i) const;
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  const std::vector<std::vector<std::vector<float>>>* rows_;
+  const std::vector<std::vector<std::string>>* row_stages_;
+  CostModel* model_;
+  std::vector<StageScores> scores_;
+  // 0 = absent, 1 = queued for the next Flush, 2 = computed.
+  std::vector<uint8_t> status_;
+  std::vector<size_t> pending_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
 };
 
 class EvolutionarySearch {
@@ -43,8 +114,12 @@ class EvolutionarySearch {
   // distinct best states by predicted fitness.
   std::vector<State> Evolve(const std::vector<State>& init, int num_out);
 
-  // Individual operators, exposed for tests. All return a failed state on an
-  // invalid edit (callers discard).
+  // Hot-path counters of the most recent Evolve() call.
+  const EvolutionStats& stats() const { return stats_; }
+
+  // Individual operators, exposed for tests. All draw from the search's own
+  // RNG and return the canonical State::Failure on an invalid edit (callers
+  // discard); a partially-replayed state is never returned.
   State MutateTileSize(const State& state);
   State MutatePragma(const State& state);
   State MutateParallelGranularity(const State& state);
@@ -52,18 +127,38 @@ class EvolutionarySearch {
   State MutateComputeLocation(const State& state);
   State Crossover(const State& a, const State& b);
 
- private:
-  State RandomMutation(const State& state);
   // Replays `steps` with SplitStep lengths rewritten by `edit(step_index,
-  // extent, lengths*)`; other steps replay verbatim.
+  // extent, lengths*)`; other steps replay verbatim. Exposed for tests: a
+  // mid-replay failure must normalize to State::Failure (empty step history).
   State ReplayWithSplitEdit(
       const std::vector<Step>& steps,
       const std::function<void(size_t, int64_t, std::vector<int64_t>*)>& edit);
+
+ private:
+  // Operator implementations drawing from an explicit per-slot RNG stream so
+  // child generation parallelizes deterministically.
+  State MutateTileSize(const State& state, Rng* rng);
+  State MutatePragma(const State& state, Rng* rng);
+  State MutateParallelGranularity(const State& state, Rng* rng);
+  State MutateVectorize(const State& state, Rng* rng);
+  State MutateComputeLocation(const State& state, Rng* rng);
+  State RandomMutation(const State& state, Rng* rng);
+  // Crossover with both parents' per-stage scores supplied by the caller
+  // (from the per-generation cache on the hot path).
+  State Crossover(const State& a, const State& b,
+                  const CrossoverScoreCache::StageScores& score_a,
+                  const CrossoverScoreCache::StageScores& score_b, Rng* rng);
+  // Lowers + feature-extracts + scores one state from scratch (used by the
+  // public Crossover; the hot path reads the cache instead).
+  CrossoverScoreCache::StageScores ComputeStageScores(const State& state);
+  // Normalizes any failed state to the canonical State::Failure.
+  State Normalized(State state) const;
 
   const ComputeDAG* dag_;
   CostModel* model_;
   Rng rng_;
   EvolutionOptions options_;
+  EvolutionStats stats_;
 };
 
 }  // namespace ansor

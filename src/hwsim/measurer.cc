@@ -24,6 +24,10 @@ MeasureResult Measurer::MeasureImpl(const State& state, uint64_t noise_tag) {
     result.error = "lowering failed: " + program.error;
     return result;
   }
+  if (options_.fail_injector && options_.fail_injector(state)) {
+    result.error = "injected transient measurement failure";
+    return result;
+  }
   if (options_.verify_every > 0 &&
       verify_counter_.fetch_add(1) % options_.verify_every == 0) {
     std::string mismatch = VerifyAgainstNaive(state);
@@ -60,7 +64,7 @@ MeasureResult Measurer::Measure(const State& state) { return MeasureImpl(state, 
 
 std::vector<MeasureResult> Measurer::MeasureBatch(const std::vector<State>& states) {
   std::vector<MeasureResult> results(states.size());
-  ThreadPool::Global().ParallelFor(states.size(), [&](size_t i) {
+  ThreadPool::OrGlobal(options_.thread_pool).ParallelFor(states.size(), [&](size_t i) {
     results[i] = MeasureImpl(states[i], 0);
   });
   return results;

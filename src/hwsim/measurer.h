@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -16,6 +17,8 @@
 #include "src/ir/state.h"
 
 namespace ansor {
+
+class ThreadPool;
 
 struct MeasureOptions {
   // Layout-rewrite of constant tensors (paper §4.2); on by default for
@@ -28,6 +31,14 @@ struct MeasureOptions {
   // Catches lowering bugs during long searches without paying interpretation
   // cost for every candidate.
   int verify_every = 0;
+  // Chaos/test hook: measurements for which this returns true are reported
+  // invalid, emulating the transient failures real hardware produces (driver
+  // hiccups, timeouts). The search must tolerate these without permanently
+  // blacklisting the affected programs.
+  std::function<bool(const State&)> fail_injector;
+  // Pool for MeasureBatch; nullptr = ThreadPool::Global(). Injectable so the
+  // thread-count-invariance tests control every parallel stage of a round.
+  ThreadPool* thread_pool = nullptr;
 };
 
 struct MeasureResult {

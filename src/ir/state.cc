@@ -683,6 +683,23 @@ bool State::ApplyRfactor(const Step& step) {
   return true;
 }
 
+std::string StepSignature(const State& state) {
+  std::string sig;
+  for (const Step& step : state.steps()) {
+    sig += step.ToString();
+    sig += ";";
+  }
+  return sig;
+}
+
+State State::Failure(const ComputeDAG* dag, std::string error) {
+  State state;
+  state.dag_ = dag;
+  state.failed_ = true;
+  state.error_ = std::move(error);
+  return state;
+}
+
 State State::Replay(const ComputeDAG* dag, const std::vector<Step>& steps) {
   State state(dag);
   for (const Step& step : steps) {

@@ -102,6 +102,11 @@ class State {
   // failed() set if any step is invalid (crossover verification).
   static State Replay(const ComputeDAG* dag, const std::vector<Step>& steps);
 
+  // The canonical failed state: failed() set, empty step history. Search code
+  // normalizes every invalid edit to this so a partially-replayed state can
+  // never leak into a population or a measurement batch.
+  static State Failure(const ComputeDAG* dag, std::string error);
+
   // Pretty-prints the loop structure (Figure 5 style).
   std::string ToString() const;
 
@@ -132,6 +137,11 @@ class State {
   std::string error_;
   int last_new_stage_ = -1;
 };
+
+// Canonical signature of a state's step history: the concatenated step
+// strings. The dedup key used by search, measurement bookkeeping, and the
+// determinism tests.
+std::string StepSignature(const State& state);
 
 }  // namespace ansor
 

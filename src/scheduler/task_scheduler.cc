@@ -114,19 +114,19 @@ double TaskScheduler::NetworkLatency(int network_index) const {
 
 double TaskScheduler::ObjectiveValue() const { return EvalObjective(CurrentLatencies()); }
 
-double TaskScheduler::ObjectiveGradientWrtTask(int task_index) const {
-  std::vector<double> latency = CurrentLatencies();
-  double g = latency[static_cast<size_t>(task_index)];
+double TaskScheduler::ObjectiveGradientWrtTask(int task_index,
+                                               const std::vector<double>& latencies) const {
+  double g = latencies[static_cast<size_t>(task_index)];
   double h = std::max(1e-6, 1e-3 * g);
-  std::vector<double> up = latency;
-  std::vector<double> down = latency;
+  std::vector<double> up = latencies;
+  std::vector<double> down = latencies;
   up[static_cast<size_t>(task_index)] = g + h;
   down[static_cast<size_t>(task_index)] = std::max(0.0, g - h);
   return (EvalObjective(up) - EvalObjective(down)) /
          (up[static_cast<size_t>(task_index)] - down[static_cast<size_t>(task_index)]);
 }
 
-double TaskScheduler::Gradient(int task_index) const {
+double TaskScheduler::Gradient(int task_index, const std::vector<double>& latencies) const {
   size_t i = static_cast<size_t>(task_index);
   const std::vector<double>& hist = latency_history_[i];
   if (hist.empty()) {
@@ -165,7 +165,7 @@ double TaskScheduler::Gradient(int task_index) const {
   double forward = std::min(optimistic, similarity);
 
   double dg_dt = options_.alpha * backward + (1.0 - options_.alpha) * forward;
-  return ObjectiveGradientWrtTask(task_index) * dg_dt;
+  return ObjectiveGradientWrtTask(task_index, latencies) * dg_dt;
 }
 
 void TaskScheduler::Tune(int total_rounds) {
@@ -200,9 +200,13 @@ void TaskScheduler::Tune(int total_rounds) {
     if (rng_.Uniform() < options_.eps_greedy) {
       pick = rng_.Index(tuners_.size());  // epsilon-greedy exploration
     } else {
+      // One latency snapshot per pick: every task's gradient reads the same
+      // vector instead of recomputing CurrentLatencies() (formerly O(tasks²)
+      // per pick).
+      std::vector<double> latencies = CurrentLatencies();
       double best_score = -std::numeric_limits<double>::infinity();
       for (size_t i = 0; i < tuners_.size(); ++i) {
-        double score = std::fabs(Gradient(static_cast<int>(i)));
+        double score = std::fabs(Gradient(static_cast<int>(i), latencies));
         if (score > best_score) {
           best_score = score;
           pick = i;

@@ -83,9 +83,11 @@ class TaskScheduler {
  private:
   double EvalObjective(const std::vector<double>& task_latency) const;
   std::vector<double> CurrentLatencies() const;
-  double Gradient(int task_index) const;
+  // Both take the current latency snapshot so one gradient pick computes
+  // CurrentLatencies() once, not once per task.
+  double Gradient(int task_index, const std::vector<double>& latencies) const;
   // d f / d g_i via central finite differences (supports custom objectives).
-  double ObjectiveGradientWrtTask(int task_index) const;
+  double ObjectiveGradientWrtTask(int task_index, const std::vector<double>& latencies) const;
 
   std::vector<SearchTask> tasks_;
   std::vector<NetworkSpec> networks_;

@@ -6,18 +6,6 @@
 #include "src/support/thread_pool.h"
 
 namespace ansor {
-namespace {
-
-std::string StepSignature(const State& state) {
-  std::string sig;
-  for (const Step& step : state.steps()) {
-    sig += step.ToString();
-    sig += ";";
-  }
-  return sig;
-}
-
-}  // namespace
 
 TaskTuner::TaskTuner(SearchTask task, Measurer* measurer, CostModel* model,
                      SearchOptions options)
@@ -52,8 +40,10 @@ double TaskTuner::TuneRound(int num_measures) {
     return best_seconds_;
   }
 
-  // 1. Candidate generation.
+  // 1. Candidate generation. Signatures are kept alongside the candidates so
+  // the measurement bookkeeping below never rebuilds them.
   std::vector<State> to_measure;
+  std::vector<std::string> to_measure_sigs;
   std::unordered_set<std::string> picked;
   auto add_candidate = [&](const State& s) {
     if (static_cast<int>(to_measure.size()) >= num_measures) {
@@ -61,10 +51,16 @@ double TaskTuner::TuneRound(int num_measures) {
     }
     std::string sig = StepSignature(s);
     if (measured_signatures_.count(sig) > 0) {
-      return;  // already measured in a previous round
+      return;  // already measured validly in a previous round
     }
-    if (picked.insert(std::move(sig)).second) {
+    auto invalid_it = invalid_signature_counts_.find(sig);
+    if (invalid_it != invalid_signature_counts_.end() &&
+        invalid_it->second >= options_.max_invalid_measures) {
+      return;  // failed measurement too often: treat as deterministically bad
+    }
+    if (picked.insert(sig).second) {
       to_measure.push_back(s);
+      to_measure_sigs.push_back(std::move(sig));
     }
   };
 
@@ -79,6 +75,7 @@ double TaskTuner::TuneRound(int num_measures) {
     evo.generations = options_.generations;
     evo.crossover_probability = options_.crossover_probability;
     evo.sampler = options_.sampler;
+    evo.thread_pool = options_.thread_pool;
     EvolutionarySearch evolution(task_.dag.get(), model_, rng_.Fork(), evo);
     int n_evolved = std::max(1, num_measures - static_cast<int>(options_.eps_random *
                                                                 num_measures));
@@ -96,23 +93,34 @@ double TaskTuner::TuneRound(int num_measures) {
     return best_seconds_;
   }
 
-  // 2. Measurement on the (simulated) hardware.
-  for (const State& s : to_measure) {
-    measured_signatures_.insert(StepSignature(s));
-  }
+  // 2. Measurement on the (simulated) hardware. Only programs that measured
+  // valid are recorded in measured_signatures_: a transient invalid result
+  // must not permanently blacklist the program. Invalid results are tallied
+  // per signature and blacklist only after max_invalid_measures attempts.
   std::vector<MeasureResult> results = measurer_->MeasureBatch(to_measure);
   total_measures_ += static_cast<int64_t>(to_measure.size());
 
   // 3. Update best + training data.
   std::vector<std::vector<std::vector<float>>> features(to_measure.size());
-  ThreadPool::Global().ParallelFor(to_measure.size(), [&](size_t i) {
+  ThreadPool::OrGlobal(options_.thread_pool).ParallelFor(to_measure.size(), [&](size_t i) {
     features[i] = ExtractStateFeatures(to_measure[i]);
   });
   std::vector<double> throughputs(to_measure.size(), 0.0);
   for (size_t i = 0; i < to_measure.size(); ++i) {
     if (!results[i].valid) {
+      ++invalid_measures_;
+      int failures = ++invalid_signature_counts_[to_measure_sigs[i]];
+      // A possibly-transient failure must not teach the model the program has
+      // zero throughput. Once the failure count reaches the blacklist
+      // threshold the program is confirmed deterministically bad: train the
+      // zero-throughput sample so the model steers away from its family.
+      if (failures < options_.max_invalid_measures) {
+        features[i].clear();
+      }
       continue;
     }
+    invalid_signature_counts_.erase(to_measure_sigs[i]);  // a transient failure recovered
+    measured_signatures_.insert(std::move(to_measure_sigs[i]));
     throughputs[i] = results[i].throughput;
     if (results[i].seconds < best_seconds_) {
       best_seconds_ = results[i].seconds;

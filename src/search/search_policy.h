@@ -9,9 +9,10 @@
 #define ANSOR_SRC_SEARCH_SEARCH_POLICY_H_
 
 #include <memory>
-#include <unordered_set>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/evolution/evolution.h"
@@ -67,6 +68,14 @@ struct SearchOptions {
   // When set, every valid measurement is appended here (resume / share /
   // apply-without-search workflows). Not owned.
   RecordLog* record_log = nullptr;
+  // Pool for evolution and feature extraction; nullptr = ThreadPool::Global().
+  // Results are invariant to the pool size (see the determinism tests).
+  ThreadPool* thread_pool = nullptr;
+  // A program whose measurement comes back invalid is retried in later rounds
+  // at most this many times in total before being blacklisted like a measured
+  // program: transient hardware failures recover, deterministic failures stop
+  // leaking one trial per round forever.
+  int max_invalid_measures = 3;
 };
 
 // Per-task tuner holding search state across rounds so the task scheduler can
@@ -86,6 +95,11 @@ class TaskTuner {
   double best_throughput() const { return best_throughput_; }
   const std::optional<State>& best_state() const { return best_state_; }
   int64_t total_measures() const { return total_measures_; }
+  // Trials that came back invalid (counted separately: their signatures are
+  // NOT blacklisted, so the program can be retried in a later round).
+  int64_t invalid_measures() const { return invalid_measures_; }
+  // Number of distinct programs with a recorded valid measurement.
+  size_t measured_signature_count() const { return measured_signatures_.size(); }
   // (cumulative trial count, best seconds) after each round.
   const std::vector<std::pair<int64_t, double>>& history() const { return history_; }
 
@@ -104,10 +118,15 @@ class TaskTuner {
   double best_throughput_ = 0.0;
   std::optional<State> best_state_;
   int64_t total_measures_ = 0;
+  int64_t invalid_measures_ = 0;
   std::vector<std::pair<int64_t, double>> history_;
   // Signatures of already-measured programs: never burn a trial twice on the
-  // same program (mirrors TVM's measured-state dedup).
+  // same program (mirrors TVM's measured-state dedup). Only programs with a
+  // *valid* measurement enter this set; invalid results are tallied in
+  // invalid_signature_counts_ and blacklisted only after
+  // SearchOptions::max_invalid_measures failed attempts.
   std::unordered_set<std::string> measured_signatures_;
+  std::unordered_map<std::string, int> invalid_signature_counts_;
 };
 
 struct TuneResult {

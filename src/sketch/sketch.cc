@@ -4,20 +4,11 @@
 #include <deque>
 #include <unordered_set>
 
+#include "src/lower/loop_tree.h"
 #include "src/support/util.h"
 
 namespace ansor {
 namespace {
-
-// Signature for sketch deduplication: the concatenated step list.
-std::string StepSignature(const State& state) {
-  std::string sig;
-  for (const Step& step : state.steps()) {
-    sig += step.ToString();
-    sig += ";";
-  }
-  return sig;
-}
 
 int CountReduceIters(const Stage& stage) {
   int n = 0;
@@ -352,6 +343,25 @@ std::vector<State> GenerateSketches(const ComputeDAG* dag, const SketchOptions& 
     }
   }
   return sketches;
+}
+
+std::vector<State> SampleLowerablePopulation(const ComputeDAG* dag, int count, Rng* rng,
+                                             const SamplerOptions& sampler,
+                                             const SketchOptions& options) {
+  std::vector<State> population;
+  std::vector<State> sketches = GenerateSketches(dag, options);
+  if (sketches.empty() || count <= 0) {
+    return population;
+  }
+  int attempts = 0;
+  while (static_cast<int>(population.size()) < count && attempts < count * 16) {
+    ++attempts;
+    State s = SampleCompleteProgram(sketches[rng->Index(sketches.size())], dag, rng, sampler);
+    if (!s.failed() && Lower(s).ok) {
+      population.push_back(std::move(s));
+    }
+  }
+  return population;
 }
 
 }  // namespace ansor

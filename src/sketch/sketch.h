@@ -15,6 +15,7 @@
 
 #include "src/analysis/predicates.h"
 #include "src/ir/state.h"
+#include "src/sampler/annotation.h"
 
 namespace ansor {
 
@@ -56,6 +57,14 @@ SketchRule RuleSkip();                      // rule 1
 // The derivation engine: returns all terminal sketches for the DAG.
 std::vector<State> GenerateSketches(const ComputeDAG* dag,
                                     const SketchOptions& options = SketchOptions());
+
+// Samples up to `count` complete programs from the DAG's sketches that also
+// lower successfully — the canonical way to seed an evolution population
+// (used by tests and benches). Gives up after 16 * count attempts so an
+// unsatisfiable request still terminates.
+std::vector<State> SampleLowerablePopulation(const ComputeDAG* dag, int count, Rng* rng,
+                                             const SamplerOptions& sampler = SamplerOptions(),
+                                             const SketchOptions& options = SketchOptions());
 
 // The "SSRSRS" multi-level tile structure (paper §4.1) applied to one stage:
 // splits every space axis into `space_levels` parts and every reduce axis into

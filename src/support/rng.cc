@@ -23,7 +23,15 @@ size_t Rng::WeightedIndex(const std::vector<double>& weights) {
       return i;
     }
   }
-  return weights.size() - 1;
+  // Rounding can push r to exactly `total`, falling through the scan. The
+  // fallback must still honor zero weights (a zero-weight index must never
+  // be returned while any positive weight exists): take the last positive.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) {
+      return i - 1;
+    }
+  }
+  return weights.size() - 1;  // unreachable: total > 0 implies a positive weight
 }
 
 std::vector<size_t> Rng::Permutation(size_t n) {

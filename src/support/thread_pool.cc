@@ -1,5 +1,7 @@
 #include "src/support/thread_pool.h"
 
+#include <atomic>
+#include <memory>
 
 #include "src/support/logging.h"
 
@@ -50,38 +52,51 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     fn(0);
     return;
   }
-  // Chunk indices into roughly 4 tasks per worker to balance load without
-  // excessive queue churn.
-  size_t num_chunks = std::min(n, workers_.size() * 4);
+  // Dynamic chunked dispatch: workers and the calling thread all pull chunks
+  // from a shared counter, so the caller participates instead of blocking
+  // idle, and load balances without per-chunk queue churn. The dispatch block
+  // is heap-allocated because a queued helper task can wake after every chunk
+  // is claimed (and the caller has returned); such stragglers only read
+  // `next_chunk`, see the range exhausted, and exit.
+  size_t num_chunks = std::min(n, (workers_.size() + 1) * 4);
   size_t chunk = (n + num_chunks - 1) / num_chunks;
-  size_t remaining = 0;
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-
-  size_t scheduled = 0;
+  struct Dispatch {
+    std::atomic<size_t> next_chunk{0};
+    std::atomic<size_t> done_chunks{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto d = std::make_shared<Dispatch>();
+  auto run_chunks = [d, &fn, n, chunk, num_chunks] {
+    for (;;) {
+      size_t c = d->next_chunk.fetch_add(1);
+      if (c >= num_chunks) {
+        return;
+      }
+      size_t begin = c * chunk;
+      size_t end = std::min(n, begin + chunk);
+      for (size_t i = begin; i < end; ++i) {
+        fn(i);
+      }
+      if (d->done_chunks.fetch_add(1) + 1 == num_chunks) {
+        // Notify under the lock so the caller cannot check the predicate and
+        // then sleep between our increment and our notify.
+        std::lock_guard<std::mutex> done_lock(d->mu);
+        d->cv.notify_all();
+      }
+    }
+  };
+  size_t helpers = std::min(workers_.size(), num_chunks - 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (size_t begin = 0; begin < n; begin += chunk) {
-      size_t end = std::min(n, begin + chunk);
-      ++scheduled;
-      tasks_.push([&, begin, end] {
-        for (size_t i = begin; i < end; ++i) {
-          fn(i);
-        }
-        // The decrement must happen under done_mu: otherwise the waiting
-        // thread can observe remaining == 0, return, and destroy done_mu on
-        // its stack while this worker is still about to lock it.
-        std::lock_guard<std::mutex> done_lock(done_mu);
-        if (--remaining == 0) {
-          done_cv.notify_all();
-        }
-      });
+    for (size_t i = 0; i < helpers; ++i) {
+      tasks_.push(run_chunks);
     }
-    remaining = scheduled;
   }
   cv_.notify_all();
-  std::unique_lock<std::mutex> done_lock(done_mu);
-  done_cv.wait(done_lock, [&] { return remaining == 0; });
+  run_chunks();  // caller participates
+  std::unique_lock<std::mutex> done_lock(d->mu);
+  d->cv.wait(done_lock, [&] { return d->done_chunks.load() == num_chunks; });
 }
 
 ThreadPool& ThreadPool::Global() {

@@ -28,6 +28,11 @@ class ThreadPool {
   // Process-wide shared pool sized to the hardware concurrency.
   static ThreadPool& Global();
 
+  // Resolves an optional pool override: *pool when non-null, else Global().
+  // Callers that accept an injected pool (e.g. for thread-count-invariance
+  // tests) use this to fall back to the shared pool.
+  static ThreadPool& OrGlobal(ThreadPool* pool) { return pool != nullptr ? *pool : Global(); }
+
  private:
   void WorkerLoop();
 

@@ -10,15 +10,9 @@ namespace ansor {
 namespace {
 
 std::vector<State> InitPopulation(const ComputeDAG* dag, int count, uint64_t seed) {
-  auto sketches = GenerateSketches(dag);
   Rng rng(seed);
-  std::vector<State> init;
-  while (static_cast<int>(init.size()) < count) {
-    State s = SampleCompleteProgram(sketches[rng.Index(sketches.size())], dag, &rng);
-    if (!s.failed() && Lower(s).ok) {
-      init.push_back(std::move(s));
-    }
-  }
+  std::vector<State> init = SampleLowerablePopulation(dag, count, &rng);
+  EXPECT_EQ(init.size(), static_cast<size_t>(count));
   return init;
 }
 
@@ -188,6 +182,161 @@ TEST(Evolution, EvolveImprovesPredictedFitness) {
   EXPECT_LT(evolved_best, init_seconds[init_seconds.size() / 2] * 1.05);
 }
 
+TEST(Evolution, FailedMutationsNormalizeToEmptyStepHistory) {
+  // Regression: a mid-replay failure used to return the partially-replayed
+  // state. Any failed result must be the canonical State::Failure with an
+  // empty step history, so partial states can never leak into a population.
+  ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
+  auto init = InitPopulation(&dag, 6, 21);
+  RandomCostModel model(1);
+  EvolutionarySearch es(&dag, &model, Rng(22));
+  for (const State& parent : init) {
+    for (int t = 0; t < 8; ++t) {
+      for (State child : {es.MutateTileSize(parent), es.MutatePragma(parent),
+                          es.MutateParallelGranularity(parent), es.MutateVectorize(parent),
+                          es.MutateComputeLocation(parent),
+                          es.Crossover(parent, init[0])}) {
+        if (child.failed()) {
+          EXPECT_TRUE(child.steps().empty()) << child.error();
+          EXPECT_FALSE(child.error().empty());
+        }
+      }
+    }
+  }
+}
+
+TEST(Evolution, ReplayWithSplitEditNormalizesMidReplayFailure) {
+  ComputeDAG dag = testing::Matmul(16, 16, 16);
+  RandomCostModel model(1);
+  EvolutionarySearch es(&dag, &model, Rng(23));
+  // Valid split, then a fuse whose range is out of bounds: the replay fails
+  // on the second step and must not return the one-step partial state.
+  std::vector<Step> steps;
+  steps.push_back(MakeSplitStep("C", 0, {4}));
+  steps.push_back(MakeFuseStep("C", 5, 3));
+  State result = es.ReplayWithSplitEdit(
+      steps, [](size_t, int64_t, std::vector<int64_t>*) {});
+  EXPECT_TRUE(result.failed());
+  EXPECT_TRUE(result.steps().empty());
+  EXPECT_FALSE(result.error().empty());
+}
+
+TEST(Evolution, UnlowerableStatesGetNoSelectionWeight) {
+  // Regression: states whose lowering/feature extraction fails used to keep
+  // selection weight and could be picked as parents. With the fix, a
+  // population of only unlowerable states terminates without generating a
+  // single child.
+  ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
+  // Valid step application (C is a real stage, iterator 0 exists) whose
+  // lowering fails: C does not read D, so compute_at cannot be lowered.
+  State bad(&dag);
+  ASSERT_TRUE(bad.ComputeAt("D", "C", 0));
+  ASSERT_FALSE(bad.failed());
+  ASSERT_FALSE(Lower(bad).ok);
+
+  RandomCostModel model(1);
+  EvolutionOptions options;
+  options.population = 8;
+  options.generations = 2;
+  EvolutionarySearch es(&dag, &model, Rng(24), options);
+  auto best = es.Evolve({bad, bad, bad, bad}, 4);
+  EXPECT_TRUE(best.empty());
+  EXPECT_EQ(es.stats().child_attempts, 0);
+}
+
+TEST(Evolution, EvolveDeterministicAcrossThreadCounts) {
+  // Same seed => bit-identical populations and stats whether child generation
+  // runs on one thread or four (per-slot forked RNG streams).
+  ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
+  auto init = InitPopulation(&dag, 8, 25);
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+
+  auto run = [&](ThreadPool* pool) {
+    RandomCostModel model(7);
+    EvolutionOptions options;
+    options.population = 16;
+    options.generations = 3;
+    options.thread_pool = pool;
+    EvolutionarySearch es(&dag, &model, Rng(26), options);
+    auto best = es.Evolve(init, 6);
+    std::vector<std::string> sigs;
+    for (const State& s : best) {
+      sigs.push_back(StepSignature(s));
+    }
+    return std::make_pair(sigs, es.stats());
+  };
+
+  auto [sigs1, stats1] = run(&pool1);
+  auto [sigs4, stats4] = run(&pool4);
+  EXPECT_EQ(sigs1, sigs4);
+  EXPECT_GT(stats1.children_generated, 0);
+  EXPECT_EQ(stats1.children_generated, stats4.children_generated);
+  EXPECT_EQ(stats1.child_attempts, stats4.child_attempts);
+  EXPECT_EQ(stats1.crossover_score_hits, stats4.crossover_score_hits);
+  EXPECT_EQ(stats1.crossover_score_misses, stats4.crossover_score_misses);
+}
+
+TEST(Evolution, CrossoverScoreCacheScoresEachMemberOnce) {
+  ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
+  auto init = InitPopulation(&dag, 2, 27);
+
+  std::vector<std::vector<std::vector<float>>> rows(init.size());
+  std::vector<std::vector<std::string>> row_stages(init.size());
+  for (size_t i = 0; i < init.size(); ++i) {
+    LoweredProgram prog = Lower(init[i]);
+    ASSERT_TRUE(prog.ok);
+    rows[i] = ExtractFeatures(prog, &row_stages[i]);
+    ASSERT_FALSE(rows[i].empty());
+  }
+
+  // Two identically seeded models: the cache must consume the model in the
+  // same order as direct per-program scoring of its misses.
+  RandomCostModel cache_model(5);
+  RandomCostModel direct_model(5);
+  CrossoverScoreCache cache(&rows, &row_stages, &cache_model);
+
+  cache.Request(0);
+  cache.Request(0);  // second request of a queued member is a hit
+  cache.Request(1);
+  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_EQ(cache.hits(), 1);
+  cache.Flush();
+
+  for (size_t i = 0; i < init.size(); ++i) {
+    std::unordered_map<std::string, double> expect;
+    auto preds = direct_model.PredictStatements(rows[i]);
+    for (size_t r = 0; r < preds.size(); ++r) {
+      expect[row_stages[i][r]] += preds[r];
+    }
+    EXPECT_EQ(cache.Get(i), expect);
+  }
+
+  cache.Request(1);  // already computed: a hit, no new model call
+  cache.Flush();
+  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_EQ(cache.hits(), 2);
+}
+
+TEST(Evolution, EvolveReportsCacheStats) {
+  ComputeDAG dag = testing::Matmul(32, 32, 32);
+  auto init = InitPopulation(&dag, 8, 29);
+  RandomCostModel model(3);
+  EvolutionOptions options;
+  options.population = 24;
+  options.generations = 2;
+  options.crossover_probability = 1.0;  // crossover-only: exercise the cache
+  EvolutionarySearch es(&dag, &model, Rng(30), options);
+  es.Evolve(init, 4);
+  const EvolutionStats& stats = es.stats();
+  EXPECT_GT(stats.child_attempts, 0);
+  // Each compatible crossover makes exactly two parent requests, and misses
+  // are bounded by one scoring per population member per generation.
+  EXPECT_EQ((stats.crossover_score_hits + stats.crossover_score_misses) % 2, 0);
+  EXPECT_LE(stats.crossover_score_misses,
+            static_cast<int64_t>(options.population + 8) * options.generations);
+}
+
 TEST(Evolution, EvolveReturnsDistinctStates) {
   ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
   auto init = InitPopulation(&dag, 8, 15);
@@ -199,11 +348,7 @@ TEST(Evolution, EvolveReturnsDistinctStates) {
   auto best = es.Evolve(init, 6);
   std::set<std::string> sigs;
   for (const State& s : best) {
-    std::string sig;
-    for (const Step& step : s.steps()) {
-      sig += step.ToString();
-    }
-    EXPECT_TRUE(sigs.insert(sig).second);
+    EXPECT_TRUE(sigs.insert(StepSignature(s)).second);
   }
 }
 

@@ -208,6 +208,88 @@ TEST(State, ToStringShowsLoops) {
   EXPECT_NE(s.find("C[...]"), std::string::npos);
 }
 
+TEST(State, EveryPrimitiveSetsFailedOnFalseReturn) {
+  // The evolutionary search normalizes a replay failure by checking
+  // failed(): a primitive that returned false without setting it would let a
+  // partially-built state masquerade as valid. Audit every primitive.
+  ComputeDAG dag = testing::MatmulRelu();
+  auto check = [](const char* what, State& s, bool ok) {
+    EXPECT_FALSE(ok) << what;
+    EXPECT_TRUE(s.failed()) << what;
+    EXPECT_FALSE(s.error().empty()) << what;
+  };
+  {
+    State s(&dag);
+    bool ok = s.Split("C", 42, {2});
+    check("split bad iter", s, ok);
+  }
+  {
+    State s(&dag);
+    bool ok = s.Split("nope", 0, {2});
+    check("split bad stage", s, ok);
+  }
+  {
+    State s(&dag);
+    bool ok = s.FollowSplit("D", 0, /*src_step=*/3, 2);
+    check("follow_split bad src", s, ok);
+  }
+  {
+    State s(&dag);
+    bool ok = s.Fuse("C", 0, 99);
+    check("fuse out of range", s, ok);
+  }
+  {
+    State s(&dag);
+    bool ok = s.Reorder("C", {0, 0, 1});
+    check("reorder non-permutation", s, ok);
+  }
+  {
+    State s(&dag);
+    bool ok = s.ComputeAt("C", "C", 0);
+    check("compute_at self", s, ok);
+  }
+  {
+    State s(&dag);
+    bool ok = s.ComputeInline("C");  // reduction stage
+    check("inline reduction", s, ok);
+  }
+  {
+    State s(&dag);
+    bool ok = s.ComputeRoot("nope");
+    check("compute_root bad stage", s, ok);
+  }
+  {
+    State s(&dag);
+    ASSERT_TRUE(s.CacheWrite("C", nullptr));
+    bool ok = s.CacheWrite("C", nullptr);  // cache stage exists
+    check("cache_write twice", s, ok);
+  }
+  {
+    State s(&dag);
+    bool ok = s.Rfactor("C", 2, nullptr);  // k not split
+    check("rfactor unsplit", s, ok);
+  }
+  {
+    State s(&dag);
+    bool ok = s.Annotate("C", 17, IterAnnotation::kParallel);
+    check("annotate bad iter", s, ok);
+  }
+  {
+    State s(&dag);
+    bool ok = s.Pragma("nope", 16);
+    check("pragma bad stage", s, ok);
+  }
+}
+
+TEST(State, FailureFactoryIsCanonical) {
+  ComputeDAG dag = testing::MatmulRelu();
+  State failure = State::Failure(&dag, "why");
+  EXPECT_TRUE(failure.failed());
+  EXPECT_EQ(failure.error(), "why");
+  EXPECT_TRUE(failure.steps().empty());
+  EXPECT_TRUE(failure.stages().empty());
+}
+
 TEST(State, FollowSplitMirrorsSourceLengths) {
   ComputeDAG dag = testing::MatmulRelu();
   State state(&dag);

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <mutex>
+#include <unordered_map>
+
 #include "src/baselines/baselines.h"
 #include "src/exec/interpreter.h"
 #include "src/search/search_policy.h"
@@ -12,6 +16,7 @@ namespace {
 SearchTask MakeTask(ComputeDAG dag, const std::string& name = "t") {
   return MakeSearchTask(name, std::move(dag));
 }
+
 
 TEST(SearchPolicy, TuneFindsValidProgram) {
   Measurer measurer(MachineModel::IntelCpu20Core());
@@ -44,8 +49,11 @@ TEST(SearchPolicy, SearchImprovesOverRounds) {
 TEST(SearchPolicy, FineTuningBeatsRandomOnSameBudget) {
   // Fig. 7 "No fine-tuning" ablation: with the same trial budget, evolution +
   // learned model should find at least as good a program as random sampling.
+  // Budget 48 (not 32): below that the comparison is decided by seed luck —
+  // at 32 trials roughly 3 of 10 seeds fail the 10%-slack assertion, at 48
+  // all pass, so the test checks the algorithm rather than one trajectory.
   SearchTask task = MakeTask(MakeConv2d(4, 64, 14, 14, 64, 3, 3, 1, 1));
-  int budget = 32;
+  int budget = 48;
 
   Measurer m1(MachineModel::IntelCpu20Core());
   GbdtCostModel model;
@@ -61,6 +69,109 @@ TEST(SearchPolicy, FineTuningBeatsRandomOnSameBudget) {
   ASSERT_TRUE(with_tuning.best_state.has_value());
   ASSERT_TRUE(random_result.best_state.has_value());
   EXPECT_LE(with_tuning.best_seconds, random_result.best_seconds * 1.10);
+}
+
+TEST(SearchPolicy, InvalidMeasurementsAreNotBlacklisted) {
+  // Regression: TuneRound used to record a candidate's signature before
+  // measuring, so one transient invalid measurement permanently blacklisted
+  // the program. Inject failures for every measurement of round one: nothing
+  // may enter the measured-signature set, and after the transient condition
+  // clears, the same programs must be measurable again.
+  bool fail_all = true;
+  MeasureOptions mopts;
+  mopts.fail_injector = [&fail_all](const State&) { return fail_all; };
+  Measurer measurer(MachineModel::IntelCpu20Core(), mopts);
+  GbdtCostModel model;
+  SearchTask task = MakeTask(testing::Matmul(16, 16, 16));
+  TaskTuner tuner(task, &measurer, &model, testing::SmallSearchOptions());
+
+  tuner.TuneRound(8);
+  int64_t first = tuner.total_measures();
+  EXPECT_GT(first, 0);
+  EXPECT_EQ(tuner.invalid_measures(), first);  // every trial failed...
+  EXPECT_EQ(tuner.measured_signature_count(), 0u);  // ...and none is blacklisted
+  EXPECT_TRUE(std::isinf(tuner.best_seconds()));
+  // Transient failures must not become zero-throughput training samples.
+  EXPECT_EQ(model.num_samples(), 0u);
+
+  fail_all = false;  // the transient condition clears
+  tuner.TuneRound(8);
+  EXPECT_GT(tuner.total_measures(), first);
+  EXPECT_GT(tuner.measured_signature_count(), 0u);
+  EXPECT_TRUE(std::isfinite(tuner.best_seconds()));
+}
+
+TEST(SearchPolicy, DeterministicallyInvalidProgramsStopConsumingBudget) {
+  // A program that always fails measurement must not leak one trial per round
+  // forever: after max_invalid_measures failed attempts its signature is
+  // blacklisted like a measured program. The injector fails everything and
+  // records how often each program is measured.
+  std::mutex mu;  // MeasureBatch calls the injector from pool threads
+  std::unordered_map<std::string, int> measured_count;
+  MeasureOptions mopts;
+  mopts.fail_injector = [&](const State& s) {
+    std::lock_guard<std::mutex> lock(mu);
+    measured_count[StepSignature(s)] += 1;
+    return true;
+  };
+  Measurer measurer(MachineModel::IntelCpu20Core(), mopts);
+  GbdtCostModel model;
+  SearchTask task = MakeTask(testing::Matmul(16, 16, 16));
+  SearchOptions options = testing::SmallSearchOptions();
+  // Threshold 1: the first failure already confirms the program as
+  // deterministically bad, so every program is measured at most once and
+  // trains a zero-throughput sample.
+  options.max_invalid_measures = 1;
+  TaskTuner tuner(task, &measurer, &model, options);
+  for (int round = 0; round < 6; ++round) {
+    tuner.TuneRound(8);
+  }
+  EXPECT_GT(tuner.invalid_measures(), 0);
+  for (const auto& [sig, count] : measured_count) {
+    EXPECT_LE(count, options.max_invalid_measures) << sig;
+  }
+  // Confirmed-deterministic failures (those that hit the threshold) DO train
+  // zero-throughput samples so the model learns to avoid their family.
+  EXPECT_GT(model.num_samples(), 0u);
+}
+
+TEST(SearchPolicy, ValidMeasurementsAreRecordedOnce) {
+  Measurer measurer(MachineModel::IntelCpu20Core());
+  GbdtCostModel model;
+  SearchTask task = MakeTask(testing::Matmul(16, 16, 16));
+  TaskTuner tuner(task, &measurer, &model, testing::SmallSearchOptions());
+  tuner.TuneRound(8);
+  EXPECT_GT(tuner.measured_signature_count(), 0u);
+  EXPECT_LE(static_cast<int64_t>(tuner.measured_signature_count()),
+            tuner.total_measures() - tuner.invalid_measures());
+}
+
+TEST(SearchPolicy, HistoryInvariantToThreadCount) {
+  // Same SearchOptions::seed must yield a bit-identical TuneResult whether
+  // the whole round (evolution, feature extraction, batch measurement) runs
+  // on a 1-thread or a 4-thread pool.
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  auto run = [&](ThreadPool* pool) {
+    MeasureOptions mopts;
+    mopts.thread_pool = pool;
+    Measurer measurer(MachineModel::IntelCpu20Core(), mopts);
+    GbdtCostModel model;
+    SearchTask task = MakeTask(testing::Matmul(64, 64, 64));
+    SearchOptions options = testing::SmallSearchOptions();
+    options.thread_pool = pool;
+    return TuneTask(task, &measurer, &model, /*trials=*/32, 16, options);
+  };
+  TuneResult r1 = run(&pool1);
+  TuneResult r4 = run(&pool4);
+  ASSERT_EQ(r1.history.size(), r4.history.size());
+  for (size_t i = 0; i < r1.history.size(); ++i) {
+    EXPECT_EQ(r1.history[i].first, r4.history[i].first);
+    EXPECT_EQ(r1.history[i].second, r4.history[i].second);  // bit-identical
+  }
+  EXPECT_EQ(r1.best_seconds, r4.best_seconds);
+  ASSERT_TRUE(r1.best_state.has_value() && r4.best_state.has_value());
+  EXPECT_EQ(StepSignature(*r1.best_state), StepSignature(*r4.best_state));
 }
 
 TEST(SearchPolicy, BestStateVerifiesSemantics) {

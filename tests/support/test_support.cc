@@ -92,6 +92,29 @@ TEST(ThreadPool, ParallelForCoversAllIndices) {
   }
 }
 
+TEST(ThreadPool, RepeatedParallelForIsExact) {
+  // Stresses the chunk dispatcher (caller participation + straggler tasks):
+  // every index must run exactly once on every invocation.
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    std::atomic<long long> sum{0};
+    size_t n = static_cast<size_t>(1 + (round * 7) % 97);
+    pool.ParallelFor(n, [&](size_t i) {
+      count.fetch_add(1);
+      sum.fetch_add(static_cast<long long>(i));
+    });
+    EXPECT_EQ(count.load(), static_cast<int>(n));
+    EXPECT_EQ(sum.load(), static_cast<long long>(n * (n - 1) / 2));
+  }
+}
+
+TEST(ThreadPool, OrGlobalResolvesOverride) {
+  ThreadPool pool(2);
+  EXPECT_EQ(&ThreadPool::OrGlobal(&pool), &pool);
+  EXPECT_EQ(&ThreadPool::OrGlobal(nullptr), &ThreadPool::Global());
+}
+
 TEST(ThreadPool, EmptyAndSingle) {
   ThreadPool pool(2);
   pool.ParallelFor(0, [&](size_t) { FAIL(); });
