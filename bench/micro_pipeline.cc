@@ -1,0 +1,108 @@
+// Micro-benchmark for the content-addressed ProgramArtifact pipeline
+// (src/program): cold compile throughput (lower + feature extraction per
+// artifact, capacity-0 cache) vs warm cache lookups, plus the end-to-end
+// consumer chain (score → measure → training features) served from one
+// task-lifetime cache. Emits a "BENCH_JSON {...}" line so compile-path
+// throughput can be tracked across commits.
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "src/program/program_cache.h"
+
+namespace ansor {
+namespace bench {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+int Run() {
+  ComputeDAG dag = MakeMatmul(64, 64, 64);
+  Rng rng(1);
+  auto population = SampleLowerablePopulation(&dag, 24, &rng);
+  if (population.empty()) {
+    std::fprintf(stderr, "micro_pipeline: no lowerable programs sampled\n");
+    return 1;
+  }
+  int repeats = std::max(1, static_cast<int>(40 * Scale()));
+
+  PrintHeader("micro_pipeline: content-addressed ProgramArtifact pipeline");
+  std::printf("population=%zu repeats=%d\n", population.size(), repeats);
+
+  // Cold path: capacity 0 disables storage, so every lookup pays the full
+  // lower + feature-extraction build.
+  ProgramCache cold(0);
+  auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < repeats; ++r) {
+    for (const State& s : population) {
+      if (!cold.GetOrBuild(s)->ok()) {
+        std::fprintf(stderr, "micro_pipeline: artifact build failed\n");
+        return 1;
+      }
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  double cold_elapsed = Seconds(t0, t1);
+  int64_t builds = cold.stats().misses;
+
+  // Warm path: one task-lifetime cache; after the first pass every lookup is
+  // a hit served without compiling.
+  ProgramCache warm;
+  t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < repeats; ++r) {
+    for (const State& s : population) {
+      if (!warm.GetOrBuild(s)->ok()) {
+        std::fprintf(stderr, "micro_pipeline: artifact lookup failed\n");
+        return 1;
+      }
+    }
+  }
+  t1 = std::chrono::steady_clock::now();
+  double warm_elapsed = Seconds(t0, t1);
+  ProgramCacheStats warm_stats = warm.stats();
+
+  // Consumer chain on the warm cache: scoring features + measurement reuse
+  // the artifacts already resident; count the extra compiles it costs (0).
+  Measurer measurer(MachineModel::IntelCpu20Core());
+  GbdtCostModel model;
+  int64_t misses_before_chain = warm.stats().misses;
+  std::vector<std::vector<std::vector<float>>> features;
+  std::vector<double> throughputs;
+  for (const State& s : population) {
+    features.push_back(warm.GetOrBuild(s)->features());
+    MeasureResult r = measurer.Measure(s, &warm);
+    throughputs.push_back(r.valid ? r.throughput : 0.0);
+  }
+  model.Update(dag.CanonicalHash(), features, throughputs);
+  int64_t chain_compiles = warm.stats().misses - misses_before_chain;
+
+  double cold_per_sec = static_cast<double>(builds) / std::max(cold_elapsed, 1e-12);
+  double warm_per_sec =
+      static_cast<double>(warm_stats.lookups()) / std::max(warm_elapsed, 1e-12);
+  double speedup = warm_elapsed > 0.0 ? cold_elapsed / warm_elapsed : 0.0;
+
+  std::printf("cold builds: %lld in %.3f s (%.0f builds/sec)\n",
+              static_cast<long long>(builds), cold_elapsed, cold_per_sec);
+  std::printf("warm lookups: %lld in %.3f s (%.0f lookups/sec, hit rate %.1f%%, "
+              "%lld evictions)\n",
+              static_cast<long long>(warm_stats.lookups()), warm_elapsed, warm_per_sec,
+              100.0 * warm_stats.HitRate(),
+              static_cast<long long>(warm_stats.evictions));
+  std::printf("warm/cold speedup: %.1fx\n", speedup);
+  std::printf("consumer chain (score+measure+train) extra compiles: %lld\n",
+              static_cast<long long>(chain_compiles));
+  std::printf("BENCH_JSON {\"bench\":\"micro_pipeline\",\"cold_builds_per_sec\":%.1f,"
+              "\"warm_lookups_per_sec\":%.1f,\"speedup\":%.2f,\"hit_rate\":%.4f,"
+              "\"chain_extra_compiles\":%lld}\n",
+              cold_per_sec, warm_per_sec, speedup, warm_stats.HitRate(),
+              static_cast<long long>(chain_compiles));
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ansor
+
+int main() { return ansor::bench::Run(); }

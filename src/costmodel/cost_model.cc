@@ -1,10 +1,28 @@
 #include "src/costmodel/cost_model.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstring>
 
 #include "src/support/logging.h"
+#include "src/support/util.h"
 
 namespace ansor {
+
+CostModel::CostModel() {
+  static std::atomic<uint64_t> next_id{1};
+  model_id_ = next_id.fetch_add(1);
+}
+
+std::vector<double> CostModel::PredictBatch(
+    const std::vector<const std::vector<std::vector<float>>*>& programs) {
+  std::vector<std::vector<std::vector<float>>> copy;
+  copy.reserve(programs.size());
+  for (const auto* rows : programs) {
+    copy.push_back(*rows);
+  }
+  return Predict(copy);
+}
 
 std::vector<std::vector<double>> CostModel::PredictStatementsBatch(
     const std::vector<const std::vector<std::vector<float>>*>& programs) {
@@ -33,6 +51,7 @@ void GbdtCostModel::Update(
     best = std::max(best, throughputs[i]);
   }
   Retrain();
+  BumpVersion();  // invalidates stage-score memos on cached artifacts
 }
 
 void GbdtCostModel::Retrain() {
@@ -70,6 +89,22 @@ std::vector<double> GbdtCostModel::Predict(
   return scores;
 }
 
+std::vector<double> GbdtCostModel::PredictBatch(
+    const std::vector<const std::vector<std::vector<float>>*>& programs) {
+  std::vector<double> scores;
+  scores.reserve(programs.size());
+  for (const auto* rows : programs) {
+    if (rows->empty()) {
+      scores.push_back(-1e9);  // invalid program
+    } else if (!model_.trained()) {
+      scores.push_back(0.0);
+    } else {
+      scores.push_back(model_.PredictProgram(*rows));
+    }
+  }
+  return scores;
+}
+
 std::vector<double> GbdtCostModel::PredictStatements(
     const std::vector<std::vector<float>>& rows) {
   std::vector<double> scores;
@@ -90,11 +125,33 @@ std::vector<double> RandomCostModel::Predict(
   return scores;
 }
 
+std::vector<double> RandomCostModel::PredictBatch(
+    const std::vector<const std::vector<std::vector<float>>*>& programs) {
+  // Same draws as Predict, without the default implementation's deep copy of
+  // feature matrices it would never read.
+  std::vector<double> scores;
+  scores.reserve(programs.size());
+  for (const auto* rows : programs) {
+    scores.push_back(rows->empty() ? -1e9 : rng_.Uniform());
+  }
+  return scores;
+}
+
 std::vector<double> RandomCostModel::PredictStatements(
     const std::vector<std::vector<float>>& rows) {
+  // Stateless by design (see the class comment): each row's score derives
+  // from its contents and the seed, never from how many rows were scored
+  // before, so memoized statement scores replay bit-identically.
   std::vector<double> scores;
-  for (size_t i = 0; i < rows.size(); ++i) {
-    scores.push_back(rng_.Uniform());
+  scores.reserve(rows.size());
+  for (const auto& row : rows) {
+    uint64_t h = seed_ ^ 0x517cc1b727220a95ULL;
+    for (float v : row) {
+      uint32_t bits = 0;
+      std::memcpy(&bits, &v, sizeof(bits));
+      HashCombine(&h, bits);
+    }
+    scores.push_back(Rng(h).Uniform());
   }
   return scores;
 }

@@ -19,7 +19,13 @@ namespace ansor {
 
 class CostModel {
  public:
+  CostModel();
   virtual ~CostModel() = default;
+
+  // Non-copyable: a copy would duplicate the (model_id, version) stamp and
+  // could alias stage-score memos between models whose training diverged.
+  CostModel(const CostModel&) = delete;
+  CostModel& operator=(const CostModel&) = delete;
 
   // Adds measured programs for the given task and retrains. `task_id`
   // identifies the DAG for per-task throughput normalization; `throughputs`
@@ -33,8 +39,18 @@ class CostModel {
   virtual std::vector<double> Predict(
       const std::vector<std::vector<std::vector<float>>>& program_features) = 0;
 
+  // Predict over borrowed feature matrices: the evolution hot path scores a
+  // population without copying features out of cached ProgramArtifacts.
+  // Entries are non-null. The default implementation materializes a copy and
+  // calls Predict; GbdtCostModel overrides it copy-free.
+  virtual std::vector<double> PredictBatch(
+      const std::vector<const std::vector<std::vector<float>>*>& programs);
+
   // Per-statement scores for one program (used by node-based crossover to
-  // score the rewriting steps of individual DAG nodes).
+  // score the rewriting steps of individual DAG nodes). Implementations must
+  // be pure functions of (rows, model state): the ProgramCache memoizes the
+  // result keyed by (model_id, version), so a hidden per-call state (e.g. a
+  // shared RNG stream) would make search results depend on cache capacity.
   virtual std::vector<double> PredictStatements(
       const std::vector<std::vector<float>>& rows) = 0;
 
@@ -44,6 +60,20 @@ class CostModel {
   // empty score vector. The default implementation loops PredictStatements.
   virtual std::vector<std::vector<double>> PredictStatementsBatch(
       const std::vector<const std::vector<std::vector<float>>*>& programs);
+
+  // Cache stamp for memoized predictions (ProgramArtifact stage scores):
+  // model_id is unique per instance for the lifetime of the process, version
+  // bumps on every Update that may change predictions. A memo computed under
+  // a matching (model_id, version) stamp equals a fresh prediction.
+  uint64_t model_id() const { return model_id_; }
+  uint64_t version() const { return version_; }
+
+ protected:
+  void BumpVersion() { ++version_; }
+
+ private:
+  uint64_t model_id_;
+  uint64_t version_ = 1;
 };
 
 // The learned GBDT model of §5.2.
@@ -56,6 +86,8 @@ class GbdtCostModel : public CostModel {
               const std::vector<double>& throughputs) override;
   std::vector<double> Predict(
       const std::vector<std::vector<std::vector<float>>>& program_features) override;
+  std::vector<double> PredictBatch(
+      const std::vector<const std::vector<std::vector<float>>*>& programs) override;
   std::vector<double> PredictStatements(const std::vector<std::vector<float>>& rows) override;
 
   size_t num_samples() const { return labels_raw_.size(); }
@@ -73,18 +105,24 @@ class GbdtCostModel : public CostModel {
 };
 
 // A model returning uniform random scores: the exploration floor used by
-// tests and the "random" ablations.
+// tests and the "random" ablations. Predict draws from a seeded stream;
+// PredictStatements is stateless (scores derive from hashing the row
+// contents with the seed) so that statement-score memoization in the
+// ProgramCache cannot perturb later predictions through the stream.
 class RandomCostModel : public CostModel {
  public:
-  explicit RandomCostModel(uint64_t seed = 0) : rng_(seed) {}
+  explicit RandomCostModel(uint64_t seed = 0) : seed_(seed), rng_(seed) {}
 
   void Update(uint64_t, const std::vector<std::vector<std::vector<float>>>&,
               const std::vector<double>&) override {}
   std::vector<double> Predict(
       const std::vector<std::vector<std::vector<float>>>& program_features) override;
+  std::vector<double> PredictBatch(
+      const std::vector<const std::vector<std::vector<float>>*>& programs) override;
   std::vector<double> PredictStatements(const std::vector<std::vector<float>>& rows) override;
 
  private:
+  uint64_t seed_;
   Rng rng_;
 };
 

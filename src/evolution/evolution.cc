@@ -1,6 +1,7 @@
 #include "src/evolution/evolution.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_set>
 #include <utility>
 
@@ -40,18 +41,24 @@ void AccumulateStageScores(const std::vector<double>& preds,
 
 // --- CrossoverScoreCache ------------------------------------------------------
 
-CrossoverScoreCache::CrossoverScoreCache(
-    const std::vector<std::vector<std::vector<float>>>* rows,
-    const std::vector<std::vector<std::string>>* row_stages, CostModel* model)
-    : rows_(rows), row_stages_(row_stages), model_(model) {
-  CHECK_EQ(rows_->size(), row_stages_->size());
-  scores_.resize(rows_->size());
-  status_.assign(rows_->size(), 0);
+CrossoverScoreCache::CrossoverScoreCache(const std::vector<ProgramArtifactPtr>* artifacts,
+                                         CostModel* model)
+    : artifacts_(artifacts), model_(model) {
+  resolved_.resize(artifacts_->size());
+  status_.assign(artifacts_->size(), 0);
 }
 
 void CrossoverScoreCache::Request(size_t i) {
   CHECK_LT(i, status_.size());
   if (status_[i] != 0) {
+    ++hits_;
+    return;
+  }
+  // A memo installed by an earlier generation or tuning round counts as a
+  // hit too, as long as the model has not retrained since.
+  if (auto memo = (*artifacts_)[i]->stage_scores(model_->model_id(), model_->version())) {
+    resolved_[i] = std::move(memo);
+    status_[i] = 2;
     ++hits_;
     return;
   }
@@ -67,12 +74,17 @@ void CrossoverScoreCache::Flush() {
   std::vector<const std::vector<std::vector<float>>*> programs;
   programs.reserve(pending_.size());
   for (size_t i : pending_) {
-    programs.push_back(&(*rows_)[i]);
+    programs.push_back(&(*artifacts_)[i]->features());
   }
   std::vector<std::vector<double>> preds = model_->PredictStatementsBatch(programs);
   for (size_t p = 0; p < pending_.size(); ++p) {
     size_t i = pending_[p];
-    AccumulateStageScores(preds[p], (*row_stages_)[i], &scores_[i]);
+    auto scored = std::make_shared<ScoredStages>();
+    scored->model_id = model_->model_id();
+    scored->model_version = model_->version();
+    AccumulateStageScores(preds[p], (*artifacts_)[i]->row_stages(), &scored->scores);
+    (*artifacts_)[i]->set_stage_scores(scored);
+    resolved_[i] = std::move(scored);
     status_[i] = 2;
   }
   pending_.clear();
@@ -81,7 +93,7 @@ void CrossoverScoreCache::Flush() {
 const CrossoverScoreCache::StageScores& CrossoverScoreCache::Get(size_t i) const {
   CHECK_LT(i, status_.size());
   CHECK_EQ(status_[i], 2);
-  return scores_[i];
+  return resolved_[i]->scores;
 }
 
 // --- EvolutionarySearch -------------------------------------------------------
@@ -347,13 +359,24 @@ State EvolutionarySearch::MutateComputeLocation(const State& state, Rng* rng) {
 
 CrossoverScoreCache::StageScores EvolutionarySearch::ComputeStageScores(const State& s) {
   CrossoverScoreCache::StageScores scores;
-  LoweredProgram prog = Lower(s);
-  if (!prog.ok) {
+  ProgramArtifactPtr artifact = options_.program_cache != nullptr
+                                    ? options_.program_cache->GetOrBuild(s)
+                                    : std::make_shared<const ProgramArtifact>(s);
+  if (!artifact->ok()) {
     return scores;
   }
-  std::vector<std::string> row_stages;
-  auto rows = ExtractFeatures(prog, &row_stages);
-  AccumulateStageScores(model_->PredictStatements(rows), row_stages, &scores);
+  // Honor and feed the same memo the hot path uses, so the public Crossover
+  // also scores a parent at most once per cost-model version.
+  if (auto memo = artifact->stage_scores(model_->model_id(), model_->version())) {
+    return memo->scores;
+  }
+  AccumulateStageScores(model_->PredictStatements(artifact->features()),
+                        artifact->row_stages(), &scores);
+  auto scored = std::make_shared<ScoredStages>();
+  scored->model_id = model_->model_id();
+  scored->model_version = model_->version();
+  scored->scores = scores;
+  artifact->set_stage_scores(std::move(scored));
   return scores;
 }
 
@@ -425,6 +448,17 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
   stats_ = EvolutionStats();
   ThreadPool& pool = ThreadPool::OrGlobal(options_.thread_pool);
 
+  // Resolve the compiled-program cache: the search policy injects its
+  // task-lifetime cache; standalone callers get a private per-call one so
+  // each distinct program still compiles once.
+  std::optional<ProgramCache> local_cache;
+  ProgramCache* cache = options_.program_cache;
+  if (cache == nullptr) {
+    local_cache.emplace();
+    cache = &*local_cache;
+  }
+  const ProgramCacheStats cache_before = cache->stats();
+
   std::vector<State> population;
   for (const State& s : init) {
     if (!s.failed()) {
@@ -440,26 +474,26 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
   std::unordered_set<std::string> best_sigs;
 
   for (int gen = 0; gen <= options_.generations; ++gen) {
-    // Stage 1 (batched): lower + feature-extract the whole population in
-    // parallel, keeping per-row stage names for the crossover score cache,
-    // then score everything with one Predict call.
+    // Stage 1 (batched): resolve the whole population to ProgramArtifacts in
+    // parallel — a cache hit serves the lowering + feature matrix compiled by
+    // an earlier generation, round, or consumer — then score everything with
+    // one batched model call over the borrowed feature matrices.
     const size_t pop = population.size();
-    std::vector<std::vector<std::vector<float>>> features(pop);
-    std::vector<std::vector<std::string>> row_stages(pop);
+    std::vector<ProgramArtifactPtr> artifacts(pop);
     pool.ParallelFor(pop, [&](size_t i) {
-      LoweredProgram prog = Lower(population[i]);
-      if (prog.ok) {
-        features[i] = ExtractFeatures(prog, &row_stages[i]);
-      }
+      artifacts[i] = cache->GetOrBuild(population[i]);
     });
-    std::vector<double> scores = model_->Predict(features);
+    std::vector<const std::vector<std::vector<float>>*> feature_ptrs(pop);
+    for (size_t i = 0; i < pop; ++i) {
+      feature_ptrs[i] = &artifacts[i]->features();
+    }
+    std::vector<double> scores = model_->PredictBatch(feature_ptrs);
 
     for (size_t i = 0; i < pop; ++i) {
-      if (features[i].empty()) {
+      if (artifacts[i]->features().empty()) {
         continue;
       }
-      std::string sig = StepSignature(population[i]);
-      if (best_sigs.insert(sig).second) {
+      if (best_sigs.insert(artifacts[i]->signature()).second) {
         best.emplace_back(scores[i], population[i]);
       }
     }
@@ -481,7 +515,7 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
     size_t n_valid = 0;
     double min_score = 0.0;
     for (size_t i = 0; i < pop; ++i) {
-      if (features[i].empty()) {
+      if (artifacts[i]->features().empty()) {
         continue;
       }
       min_score = n_valid == 0 ? scores[i] : std::min(min_score, scores[i]);
@@ -492,7 +526,7 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
     }
     std::vector<double> weights(pop, 0.0);
     for (size_t i = 0; i < pop; ++i) {
-      if (!features[i].empty()) {
+      if (!artifacts[i]->features().empty()) {
         weights[i] = scores[i] - min_score + 1e-3;
       }
     }
@@ -501,7 +535,7 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
     // planned serially — each forks its own RNG stream and draws its
     // operator and parents — so the result is independent of thread count;
     // workers then run the replay-heavy operators concurrently.
-    CrossoverScoreCache cache(&features, &row_stages, model_);
+    CrossoverScoreCache score_cache(&artifacts, model_);
     struct Slot {
       Rng rng{0};
       bool crossover = false;
@@ -528,12 +562,12 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
           slot.pb = slot.rng.WeightedIndex(weights);
           slot.dead = !SkeletonsMatch(population[slot.pa], population[slot.pb]);
           if (!slot.dead) {
-            cache.Request(slot.pa);
-            cache.Request(slot.pb);
+            score_cache.Request(slot.pa);
+            score_cache.Request(slot.pb);
           }
         }
       }
-      cache.Flush();
+      score_cache.Flush();
       std::vector<State> children(wave, State());
       pool.ParallelFor(wave, [&](size_t s) {
         Slot& slot = slots[s];
@@ -541,7 +575,8 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
           children[s] = State::Failure(dag_, "crossover skeleton mismatch");
         } else if (slot.crossover) {
           children[s] = Crossover(population[slot.pa], population[slot.pb],
-                                  cache.Get(slot.pa), cache.Get(slot.pb), &slot.rng);
+                                  score_cache.Get(slot.pa), score_cache.Get(slot.pb),
+                                  &slot.rng);
         } else {
           children[s] = RandomMutation(population[slot.pa], &slot.rng);
         }
@@ -556,13 +591,18 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
         }
       }
     }
-    stats_.crossover_score_hits += cache.hits();
-    stats_.crossover_score_misses += cache.misses();
+    stats_.crossover_score_hits += score_cache.hits();
+    stats_.crossover_score_misses += score_cache.misses();
     if (next.empty()) {
       break;
     }
     population = std::move(next);
   }
+
+  const ProgramCacheStats cache_after = cache->stats();
+  stats_.program_cache_hits = cache_after.hits - cache_before.hits;
+  stats_.program_cache_misses = cache_after.misses - cache_before.misses;
+  stats_.program_cache_evictions = cache_after.evictions - cache_before.evictions;
 
   std::vector<State> out;
   for (const auto& [score, state] : best) {

@@ -17,15 +17,20 @@
 //   * node-based crossover    — per-DAG-node adoption of step parameters from
 //                               the parent whose node scores higher.
 //
-// The per-generation hot path is a parallel, batched pipeline:
-//   1. the whole population is lowered + feature-extracted in parallel and
-//      scored with one batched CostModel::Predict call;
+// The per-generation hot path is a parallel, batched pipeline over the
+// content-addressed ProgramArtifact layer (src/program):
+//   1. the whole population is resolved to ProgramArtifacts in parallel
+//      (lowered + feature-extracted once per distinct program, served from
+//      the task-lifetime ProgramCache thereafter) and scored with one
+//      batched CostModel::PredictBatch call;
 //   2. child generation runs on a thread pool in waves, each slot drawing
 //      from its own deterministically forked RNG stream, so results are
 //      bit-identical across thread counts for a fixed seed;
-//   3. crossover reads per-stage parent scores from a per-generation cache
-//      (CrossoverScoreCache): each parent is PredictStatements-scored at
-//      most once per generation, however many offspring it sires.
+//   3. crossover reads per-stage parent scores from CrossoverScoreCache,
+//      whose storage is the artifacts themselves: a parent is
+//      PredictStatements-scored at most once per cost-model version, and the
+//      memo survives across generations and tuning rounds for as long as the
+//      artifact stays cached.
 #ifndef ANSOR_SRC_EVOLUTION_EVOLUTION_H_
 #define ANSOR_SRC_EVOLUTION_EVOLUTION_H_
 
@@ -36,6 +41,7 @@
 
 #include "src/costmodel/cost_model.h"
 #include "src/ir/state.h"
+#include "src/program/program_cache.h"
 #include "src/sampler/annotation.h"
 #include "src/support/thread_pool.h"
 
@@ -50,42 +56,61 @@ struct EvolutionOptions {
   // ThreadPool::Global(). Injectable so tests can prove that search results
   // are invariant to the thread count (pool size 1 vs N).
   ThreadPool* thread_pool = nullptr;
+  // Compiled-program cache serving lowering/features/stage-scores. nullptr
+  // means Evolve uses a private per-call cache; the search policy injects
+  // its task-lifetime cache here so artifacts (and their crossover score
+  // memos) survive across generations and tuning rounds. Results are
+  // bit-identical for any cache and any capacity, including 0 = disabled.
+  ProgramCache* program_cache = nullptr;
 };
 
 // Counters for the child-generation hot path, reset by each Evolve() call.
 struct EvolutionStats {
   int64_t child_attempts = 0;      // mutation/crossover slots executed
   int64_t children_generated = 0;  // valid offspring admitted to a population
-  // Crossover parent stage-score lookups served from the per-generation
-  // cache vs computed fresh (the miss count is bounded by population size
-  // per generation; the serial code recomputed both parents every call).
+  // Crossover parent stage-score lookups served from a memo (same wave, an
+  // earlier generation, or an earlier round at the same model version) vs
+  // computed fresh (bounded by one scoring per population member per
+  // generation; the serial code recomputed both parents every call).
   int64_t crossover_score_hits = 0;
   int64_t crossover_score_misses = 0;
+  // ProgramCache activity observed during the Evolve() call (counter deltas;
+  // approximate if the injected cache is shared with concurrent users).
+  int64_t program_cache_hits = 0;
+  int64_t program_cache_misses = 0;
+  int64_t program_cache_evictions = 0;
 
   double CacheHitRate() const {
     int64_t total = crossover_score_hits + crossover_score_misses;
     return total == 0 ? 0.0 : static_cast<double>(crossover_score_hits) /
                                   static_cast<double>(total);
   }
+  double ProgramCacheHitRate() const {
+    int64_t total = program_cache_hits + program_cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(program_cache_hits) /
+                                  static_cast<double>(total);
+  }
 };
 
-// Per-generation cache of per-stage cost-model scores for crossover parents.
-// `rows` / `row_stages` hold the population's already-extracted feature rows
-// and their owning stage names (borrowed; must outlive the cache). Misses are
-// queued by Request() and computed by Flush() in one batched model call;
+// Per-stage cost-model scores for crossover parents, stored on the parents'
+// ProgramArtifacts: a score memo is stamped with the cost-model version it
+// was computed under and lives as long as the artifact stays in the task's
+// ProgramCache, so parents reappearing in a later generation or tuning round
+// are not re-scored until the model retrains. `artifacts` holds the
+// population's resolved artifacts (borrowed; must outlive the cache). Misses
+// are queued by Request() and computed by Flush() in one batched model call;
 // after Flush(), Get() is lock-free and safe from worker threads.
 class CrossoverScoreCache {
  public:
   using StageScores = std::unordered_map<std::string, double>;
 
-  CrossoverScoreCache(const std::vector<std::vector<std::vector<float>>>* rows,
-                      const std::vector<std::vector<std::string>>* row_stages,
-                      CostModel* model);
+  CrossoverScoreCache(const std::vector<ProgramArtifactPtr>* artifacts, CostModel* model);
 
   // Declares that member `i` is needed as a crossover parent: counts a cache
-  // hit when its scores are already computed or queued, a miss otherwise.
+  // hit when its scores are already memoized or queued, a miss otherwise.
   void Request(size_t i);
-  // Scores all queued misses with one CostModel::PredictStatementsBatch call.
+  // Scores all queued misses with one CostModel::PredictStatementsBatch call
+  // and installs the memos on the artifacts.
   void Flush();
   // Scores for member `i`; Request+Flush must have covered it. Read-only.
   const StageScores& Get(size_t i) const;
@@ -94,11 +119,11 @@ class CrossoverScoreCache {
   int64_t misses() const { return misses_; }
 
  private:
-  const std::vector<std::vector<std::vector<float>>>* rows_;
-  const std::vector<std::vector<std::string>>* row_stages_;
+  const std::vector<ProgramArtifactPtr>* artifacts_;
   CostModel* model_;
-  std::vector<StageScores> scores_;
-  // 0 = absent, 1 = queued for the next Flush, 2 = computed.
+  // Resolved memo per member (null until Request/Flush covered it).
+  std::vector<std::shared_ptr<const ScoredStages>> resolved_;
+  // 0 = absent, 1 = queued for the next Flush, 2 = resolved.
   std::vector<uint8_t> status_;
   std::vector<size_t> pending_;
   int64_t hits_ = 0;

@@ -102,7 +102,11 @@ ExecutionResult ExecuteProgram(
 }
 
 std::string VerifyAgainstNaive(const State& state, double tolerance) {
-  LoweredProgram program = Lower(state);
+  return VerifyAgainstNaive(state, Lower(state), tolerance);
+}
+
+std::string VerifyAgainstNaive(const State& state, const LoweredProgram& program,
+                               double tolerance) {
   if (!program.ok) {
     return "lowering failed: " + program.error;
   }

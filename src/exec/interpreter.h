@@ -27,9 +27,14 @@ ExecutionResult ExecuteProgram(
     const LoweredProgram& program,
     const std::unordered_map<std::string, std::vector<float>>& inputs);
 
-// Convenience: lowers `state`, executes it on deterministic random inputs and
-// compares every DAG output against naive execution. Returns an empty string
-// on success and a diagnostic otherwise.
+// Executes the already-lowered `program` of `state` on deterministic random
+// inputs and compares every DAG output against naive execution. Returns an
+// empty string on success and a diagnostic otherwise. Callers holding a
+// cached ProgramArtifact use this form to avoid re-lowering.
+std::string VerifyAgainstNaive(const State& state, const LoweredProgram& program,
+                               double tolerance = 1e-3);
+
+// Convenience: lowers `state` first.
 std::string VerifyAgainstNaive(const State& state, double tolerance = 1e-3);
 
 }  // namespace ansor

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/exec/interpreter.h"
+#include "src/program/program_cache.h"
 #include "src/support/rng.h"
 #include "src/support/thread_pool.h"
 #include "src/support/util.h"
@@ -12,16 +13,28 @@ namespace ansor {
 Measurer::Measurer(MachineModel machine, MeasureOptions options)
     : machine_(std::move(machine)), options_(options) {}
 
-MeasureResult Measurer::MeasureImpl(const State& state, uint64_t noise_tag) {
+MeasureResult Measurer::MeasureImpl(const State& state, uint64_t noise_tag,
+                                    ProgramCache* cache) {
   trials_.fetch_add(1);
   MeasureResult result;
   if (state.failed()) {
     result.error = "invalid state: " + state.error();
     return result;
   }
-  LoweredProgram program = Lower(state);
-  if (!program.ok) {
-    result.error = "lowering failed: " + program.error;
+  // With a cache, candidates the search already compiled (population scoring,
+  // lowerability probes) are measured from the shared artifact.
+  ProgramArtifactPtr artifact;
+  LoweredProgram local;
+  const LoweredProgram* program;
+  if (cache != nullptr) {
+    artifact = cache->GetOrBuild(state);
+    program = &artifact->lowered();
+  } else {
+    local = Lower(state);
+    program = &local;
+  }
+  if (!program->ok) {
+    result.error = "lowering failed: " + program->error;
     return result;
   }
   if (options_.fail_injector && options_.fail_injector(state)) {
@@ -30,13 +43,13 @@ MeasureResult Measurer::MeasureImpl(const State& state, uint64_t noise_tag) {
   }
   if (options_.verify_every > 0 &&
       verify_counter_.fetch_add(1) % options_.verify_every == 0) {
-    std::string mismatch = VerifyAgainstNaive(state);
+    std::string mismatch = VerifyAgainstNaive(state, *program);
     if (!mismatch.empty()) {
       result.error = "verification failed: " + mismatch;
       return result;
     }
   }
-  SimulatedCost cost = SimulateProgram(program, machine_, options_.sim);
+  SimulatedCost cost = SimulateProgram(*program, machine_, options_.sim);
   if (!cost.valid) {
     result.error = cost.error;
     return result;
@@ -60,12 +73,16 @@ MeasureResult Measurer::MeasureImpl(const State& state, uint64_t noise_tag) {
   return result;
 }
 
-MeasureResult Measurer::Measure(const State& state) { return MeasureImpl(state, 0); }
+MeasureResult Measurer::Measure(const State& state, ProgramCache* cache) {
+  return MeasureImpl(state, 0, cache != nullptr ? cache : options_.program_cache);
+}
 
-std::vector<MeasureResult> Measurer::MeasureBatch(const std::vector<State>& states) {
+std::vector<MeasureResult> Measurer::MeasureBatch(const std::vector<State>& states,
+                                                  ProgramCache* cache) {
+  ProgramCache* resolved = cache != nullptr ? cache : options_.program_cache;
   std::vector<MeasureResult> results(states.size());
   ThreadPool::OrGlobal(options_.thread_pool).ParallelFor(states.size(), [&](size_t i) {
-    results[i] = MeasureImpl(states[i], 0);
+    results[i] = MeasureImpl(states[i], 0, resolved);
   });
   return results;
 }

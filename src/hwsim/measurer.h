@@ -18,6 +18,7 @@
 
 namespace ansor {
 
+class ProgramCache;
 class ThreadPool;
 
 struct MeasureOptions {
@@ -39,6 +40,11 @@ struct MeasureOptions {
   // Pool for MeasureBatch; nullptr = ThreadPool::Global(). Injectable so the
   // thread-count-invariance tests control every parallel stage of a round.
   ThreadPool* thread_pool = nullptr;
+  // Default compiled-program cache: candidates already lowered by the search
+  // (population scoring) are measured without re-lowering. Overridable per
+  // call — the search policy passes its task-lifetime cache — and nullptr
+  // means lower from scratch. Measurement results are identical either way.
+  ProgramCache* program_cache = nullptr;
 };
 
 struct MeasureResult {
@@ -55,15 +61,18 @@ class Measurer {
 
   const MachineModel& machine() const { return machine_; }
 
-  MeasureResult Measure(const State& state);
-  std::vector<MeasureResult> MeasureBatch(const std::vector<State>& states);
+  // `cache` overrides MeasureOptions::program_cache for this call (the
+  // search policy injects its per-task cache); nullptr falls back to it.
+  MeasureResult Measure(const State& state, ProgramCache* cache = nullptr);
+  std::vector<MeasureResult> MeasureBatch(const std::vector<State>& states,
+                                          ProgramCache* cache = nullptr);
 
   // Total number of measurement trials performed (the budget unit of §7).
   int64_t trial_count() const { return trials_.load(); }
   void ResetTrialCount() { trials_.store(0); }
 
  private:
-  MeasureResult MeasureImpl(const State& state, uint64_t noise_tag);
+  MeasureResult MeasureImpl(const State& state, uint64_t noise_tag, ProgramCache* cache);
 
   MachineModel machine_;
   MeasureOptions options_;

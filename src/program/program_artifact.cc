@@ -1,0 +1,32 @@
+#include "src/program/program_artifact.h"
+
+#include "src/ir/state.h"
+
+namespace ansor {
+
+ProgramArtifact::ProgramArtifact(const State& state)
+    : ProgramArtifact(state, StepSignature(state)) {}
+
+ProgramArtifact::ProgramArtifact(const State& state, std::string signature)
+    : signature_(std::move(signature)), lowered_(Lower(state)) {
+  if (lowered_.ok) {
+    features_ = ExtractFeatures(lowered_, &row_stages_);
+  }
+}
+
+std::shared_ptr<const ScoredStages> ProgramArtifact::stage_scores(
+    uint64_t model_id, uint64_t model_version) const {
+  std::lock_guard<std::mutex> lock(scores_mu_);
+  if (scores_ != nullptr && scores_->model_id == model_id &&
+      scores_->model_version == model_version) {
+    return scores_;
+  }
+  return nullptr;
+}
+
+void ProgramArtifact::set_stage_scores(std::shared_ptr<const ScoredStages> scores) const {
+  std::lock_guard<std::mutex> lock(scores_mu_);
+  scores_ = std::move(scores);
+}
+
+}  // namespace ansor

@@ -1,0 +1,85 @@
+// One compiled candidate program, content-addressed by its step signature.
+//
+// The search loop compiles the same program many times over: the evolution
+// scores a population, crossover scores its parents, the measurer lowers the
+// chosen candidates, the tuner re-extracts their features for cost-model
+// training, and the core API re-lowers the winner to print it. A
+// ProgramArtifact bundles everything those consumers need — the lowered loop
+// tree, the per-statement feature matrix with per-row stage names, and a
+// memo of per-stage cost-model scores — so each distinct program is compiled
+// once per task and served from the ProgramCache thereafter.
+//
+// Artifacts are immutable after construction except for the stage-score
+// memo, which is stamped with the (model id, model version) it was computed
+// under: the memo is a pure function of (program, model state), so serving
+// it from the cache is bit-identical to recomputing it, and a cost-model
+// retrain (version bump) invalidates it automatically.
+#ifndef ANSOR_SRC_PROGRAM_PROGRAM_ARTIFACT_H_
+#define ANSOR_SRC_PROGRAM_PROGRAM_ARTIFACT_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/features/feature_extraction.h"
+#include "src/lower/loop_tree.h"
+
+namespace ansor {
+
+// Per-stage score sums for one program, stamped with the cost-model instance
+// and version that produced them. A stamp mismatch reads as absent.
+struct ScoredStages {
+  uint64_t model_id = 0;
+  uint64_t model_version = 0;
+  std::unordered_map<std::string, double> scores;
+};
+
+class ProgramArtifact {
+ public:
+  // Lowers the state and, on success, extracts its feature matrix. A state
+  // whose lowering fails still yields an artifact (ok() == false, empty
+  // features) so consumers have one code path.
+  explicit ProgramArtifact(const State& state);
+  // As above with the StepSignature already computed (the ProgramCache hands
+  // over the one it derived the cache key from).
+  ProgramArtifact(const State& state, std::string signature);
+
+  ProgramArtifact(const ProgramArtifact&) = delete;
+  ProgramArtifact& operator=(const ProgramArtifact&) = delete;
+
+  // Lowering validity: false means lowered().error holds the diagnostic.
+  bool ok() const { return lowered_.ok; }
+  // The state's StepSignature — the content address within one DAG.
+  const std::string& signature() const { return signature_; }
+  const LoweredProgram& lowered() const { return lowered_; }
+  // One row per innermost store statement; empty when ok() is false.
+  const std::vector<std::vector<float>>& features() const { return features_; }
+  // Owning stage name of each feature row (node-based crossover scoring).
+  const std::vector<std::string>& row_stages() const { return row_stages_; }
+
+  // The stage-score memo if it matches the given model stamp, else nullptr.
+  // Thread-safe; the returned snapshot is immutable.
+  std::shared_ptr<const ScoredStages> stage_scores(uint64_t model_id,
+                                                   uint64_t model_version) const;
+  // Installs a new memo (replacing any stale one). Thread-safe. Const because
+  // cached artifacts are shared as pointers-to-const; the memo is a
+  // deterministic derivative, not a semantic mutation.
+  void set_stage_scores(std::shared_ptr<const ScoredStages> scores) const;
+
+ private:
+  std::string signature_;
+  LoweredProgram lowered_;
+  std::vector<std::vector<float>> features_;
+  std::vector<std::string> row_stages_;
+
+  mutable std::mutex scores_mu_;
+  mutable std::shared_ptr<const ScoredStages> scores_;
+};
+
+using ProgramArtifactPtr = std::shared_ptr<const ProgramArtifact>;
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_PROGRAM_PROGRAM_ARTIFACT_H_

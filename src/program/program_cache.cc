@@ -1,0 +1,105 @@
+#include "src/program/program_cache.h"
+
+#include <algorithm>
+
+#include "src/dag/compute_dag.h"
+#include "src/ir/state.h"
+#include "src/support/util.h"
+
+namespace ansor {
+namespace {
+
+// Content address: the DAG's canonical hash (states of different tasks with
+// identical step lists must not alias) plus the step signature. The
+// signature's offset within the key is returned through `sig_offset` so a
+// miss can reuse it for the artifact without recomputing.
+std::string CacheKey(const State& state, size_t* sig_offset) {
+  std::string key = std::to_string(state.dag()->CanonicalHash());
+  key += '|';
+  *sig_offset = key.size();
+  key += StepSignature(state);
+  return key;
+}
+
+}  // namespace
+
+ProgramCache::ProgramCache(size_t capacity, size_t num_shards)
+    : capacity_(capacity), shards_(std::max<size_t>(1, num_shards)) {
+  per_shard_capacity_ =
+      capacity_ == 0 ? 0
+                     : std::max<size_t>(1, static_cast<size_t>(CeilDiv(
+                                               static_cast<int64_t>(capacity_),
+                                               static_cast<int64_t>(shards_.size()))));
+}
+
+ProgramCache::Shard& ProgramCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>()(key) % shards_.size()];
+}
+
+ProgramArtifactPtr ProgramCache::GetOrBuild(const State& state) {
+  if (state.failed()) {
+    return std::make_shared<const ProgramArtifact>(state);
+  }
+  size_t sig_offset = 0;
+  std::string key = CacheKey(state, &sig_offset);
+  Shard& shard = ShardFor(key);
+  if (capacity_ == 0) {
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      ++shard.misses;
+    }
+    return std::make_shared<const ProgramArtifact>(state, key.substr(sig_offset));
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      ++shard.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      return it->second.artifact;
+    }
+    ++shard.misses;
+  }
+  // Build outside the lock: lowering + feature extraction dominate, and two
+  // threads racing on the same key build identical artifacts anyway.
+  ProgramArtifactPtr artifact =
+      std::make_shared<const ProgramArtifact>(state, key.substr(sig_offset));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    // A racing thread inserted first; adopt its artifact so stage-score
+    // memos accumulate on one shared object.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    return it->second.artifact;
+  }
+  shard.lru.push_front(key);
+  shard.map.emplace(key, Entry{artifact, shard.lru.begin()});
+  while (shard.map.size() > per_shard_capacity_) {
+    shard.map.erase(shard.lru.back());
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  return artifact;
+}
+
+size_t ProgramCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+ProgramCacheStats ProgramCache::stats() const {
+  ProgramCacheStats out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.evictions += shard.evictions;
+  }
+  return out;
+}
+
+}  // namespace ansor

@@ -1,0 +1,95 @@
+// Thread-safe, sharded, LRU-bounded cache of compiled ProgramArtifacts.
+//
+// The cache has a task lifetime: a TaskTuner owns one (unless an external
+// cache is injected through SearchOptions) and threads it through evolution,
+// measurement, training-feature extraction and the core API, so each
+// distinct program is lowered and feature-extracted once per task however
+// many consumers touch it. Entries are keyed by the DAG's canonical hash
+// plus the state's step signature, so a cache may safely be shared across
+// tasks (the cross-task reuse path of ROADMAP's open items).
+//
+// Determinism: an artifact is a pure function of (DAG, step list), so a hit
+// is bit-identical to a rebuild — fixed-seed search results do not depend on
+// the cache capacity (including 0 = disabled) or on the thread count.
+// The hit/miss *counters* are exact under serial use but may split
+// differently across thread counts when workers race on the same key; only
+// totals (hits + misses) are schedule-independent.
+#ifndef ANSOR_SRC_PROGRAM_PROGRAM_CACHE_H_
+#define ANSOR_SRC_PROGRAM_PROGRAM_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/program/program_artifact.h"
+
+namespace ansor {
+
+// Monotonic counters, aggregated over all shards by stats().
+struct ProgramCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+
+  int64_t lookups() const { return hits + misses; }
+  double HitRate() const {
+    int64_t total = lookups();
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class ProgramCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  // `capacity` bounds the entry count: each shard holds at most
+  // ceil(capacity / num_shards) (min 1) entries under its own LRU order, so
+  // the effective total bound is that per-shard bound times num_shards.
+  // Capacity 0 disables storage entirely: every lookup builds a fresh
+  // artifact and counts as a miss. Use num_shards = 1 for exact global LRU
+  // order (tests).
+  explicit ProgramCache(size_t capacity = kDefaultCapacity, size_t num_shards = 16);
+
+  ProgramCache(const ProgramCache&) = delete;
+  ProgramCache& operator=(const ProgramCache&) = delete;
+
+  // The artifact for `state`, served from the cache or built (and, capacity
+  // permitting, inserted) on a miss. Failed states are never cached — their
+  // normalized empty step history would alias every other failed state — but
+  // still yield a (not-ok) artifact. Safe to call from worker threads; a
+  // racing build of the same key keeps the first inserted artifact so
+  // stage-score memos stay shared.
+  ProgramArtifactPtr GetOrBuild(const State& state);
+
+  size_t capacity() const { return capacity_; }
+  // Current entry count across all shards.
+  size_t size() const;
+  ProgramCacheStats stats() const;
+
+ private:
+  struct Entry {
+    ProgramArtifactPtr artifact;
+    std::list<std::string>::iterator lru_it;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<std::string> lru;  // front = most recently used
+    std::unordered_map<std::string, Entry> map;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t capacity_;
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_PROGRAM_PROGRAM_CACHE_H_

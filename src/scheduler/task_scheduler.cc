@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 #include "src/support/util.h"
 
@@ -113,6 +114,23 @@ double TaskScheduler::NetworkLatency(int network_index) const {
 }
 
 double TaskScheduler::ObjectiveValue() const { return EvalObjective(CurrentLatencies()); }
+
+ProgramCacheStats TaskScheduler::AggregateProgramCacheStats() const {
+  ProgramCacheStats total;
+  // Tuners may share one injected cache; count each distinct cache once.
+  std::unordered_set<const ProgramCache*> seen;
+  for (const auto& tuner : tuners_) {
+    const ProgramCache* cache = &tuner->program_cache();
+    if (!seen.insert(cache).second) {
+      continue;
+    }
+    ProgramCacheStats s = cache->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+  }
+  return total;
+}
 
 double TaskScheduler::ObjectiveGradientWrtTask(int task_index,
                                                const std::vector<double>& latencies) const {

@@ -77,6 +77,9 @@ class TaskScheduler {
 
   const std::vector<std::unique_ptr<TaskTuner>>& tuners() const { return tuners_; }
   const std::vector<int>& allocations() const { return allocations_; }
+  // Sum of the per-task compiled-program cache counters (each tuner owns a
+  // task-lifetime ProgramCache; see SearchOptions::program_cache).
+  ProgramCacheStats AggregateProgramCacheStats() const;
   // (cumulative trials, objective value) after every allocation.
   const std::vector<std::pair<int64_t, double>>& history() const { return history_; }
 

@@ -14,6 +14,14 @@ TaskTuner::TaskTuner(SearchTask task, Measurer* measurer, CostModel* model,
       model_(model),
       options_(options),
       rng_(options.seed ^ task_.task_id()) {
+  // Task-lifetime compiled-program cache: owned by the tuner unless the
+  // caller injected one to observe or share it.
+  if (options_.program_cache != nullptr) {
+    cache_ = options_.program_cache;
+  } else {
+    owned_cache_ = std::make_unique<ProgramCache>(options_.program_cache_capacity);
+    cache_ = owned_cache_.get();
+  }
   sketches_ = GenerateSketches(task_.dag.get(), options_.sketch);
 }
 
@@ -76,6 +84,7 @@ double TaskTuner::TuneRound(int num_measures) {
     evo.crossover_probability = options_.crossover_probability;
     evo.sampler = options_.sampler;
     evo.thread_pool = options_.thread_pool;
+    evo.program_cache = cache_;
     EvolutionarySearch evolution(task_.dag.get(), model_, rng_.Fork(), evo);
     int n_evolved = std::max(1, num_measures - static_cast<int>(options_.eps_random *
                                                                 num_measures));
@@ -93,17 +102,21 @@ double TaskTuner::TuneRound(int num_measures) {
     return best_seconds_;
   }
 
-  // 2. Measurement on the (simulated) hardware. Only programs that measured
-  // valid are recorded in measured_signatures_: a transient invalid result
-  // must not permanently blacklist the program. Invalid results are tallied
-  // per signature and blacklist only after max_invalid_measures attempts.
-  std::vector<MeasureResult> results = measurer_->MeasureBatch(to_measure);
+  // 2. Measurement on the (simulated) hardware, served from the task cache:
+  // candidates the evolution already lowered are not compiled again. Only
+  // programs that measured valid are recorded in measured_signatures_: a
+  // transient invalid result must not permanently blacklist the program.
+  // Invalid results are tallied per signature and blacklist only after
+  // max_invalid_measures attempts.
+  std::vector<MeasureResult> results = measurer_->MeasureBatch(to_measure, cache_);
   total_measures_ += static_cast<int64_t>(to_measure.size());
 
-  // 3. Update best + training data.
+  // 3. Update best + training data. Training features are copied out of the
+  // cached artifacts (the per-candidate copy is mutated below when a
+  // transient failure must not train a zero-throughput sample).
   std::vector<std::vector<std::vector<float>>> features(to_measure.size());
   ThreadPool::OrGlobal(options_.thread_pool).ParallelFor(to_measure.size(), [&](size_t i) {
-    features[i] = ExtractStateFeatures(to_measure[i]);
+    features[i] = cache_->GetOrBuild(to_measure[i])->features();
   });
   std::vector<double> throughputs(to_measure.size(), 0.0);
   for (size_t i = 0; i < to_measure.size(); ++i) {

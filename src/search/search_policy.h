@@ -17,6 +17,7 @@
 
 #include "src/evolution/evolution.h"
 #include "src/hwsim/measurer.h"
+#include "src/program/program_cache.h"
 #include "src/search/record_log.h"
 #include "src/sketch/sketch.h"
 
@@ -71,6 +72,16 @@ struct SearchOptions {
   // Pool for evolution and feature extraction; nullptr = ThreadPool::Global().
   // Results are invariant to the pool size (see the determinism tests).
   ThreadPool* thread_pool = nullptr;
+  // Compiled-program cache shared by every consumer of a tuning round
+  // (evolution scoring, crossover, measurement, training-feature
+  // extraction). nullptr = the tuner creates its own task-lifetime cache
+  // with program_cache_capacity entries; inject one to observe its counters
+  // or to share artifacts across tasks. Results are invariant to the cache
+  // and its capacity (see the determinism tests).
+  ProgramCache* program_cache = nullptr;
+  // Capacity of the tuner-owned cache when program_cache is null. 0 disables
+  // caching entirely (every consumer compiles from scratch, as before PR 3).
+  size_t program_cache_capacity = ProgramCache::kDefaultCapacity;
   // A program whose measurement comes back invalid is retried in later rounds
   // at most this many times in total before being blacklisted like a measured
   // program: transient hardware failures recover, deterministic failures stop
@@ -102,6 +113,9 @@ class TaskTuner {
   size_t measured_signature_count() const { return measured_signatures_.size(); }
   // (cumulative trial count, best seconds) after each round.
   const std::vector<std::pair<int64_t, double>>& history() const { return history_; }
+  // The task's compiled-program cache (owned unless injected via
+  // SearchOptions::program_cache). Exposes hit/miss/eviction counters.
+  const ProgramCache& program_cache() const { return *cache_; }
 
  private:
   std::vector<State> SampleRandomPrograms(int count);
@@ -110,6 +124,8 @@ class TaskTuner {
   Measurer* measurer_;
   CostModel* model_;
   SearchOptions options_;
+  std::unique_ptr<ProgramCache> owned_cache_;
+  ProgramCache* cache_;
   Rng rng_;
   std::vector<State> sketches_;
   // Best measured programs (population seed for the next round).

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "src/lower/loop_tree.h"
+#include "src/program/program_cache.h"
 #include "src/support/util.h"
 
 namespace ansor {
@@ -347,7 +348,8 @@ std::vector<State> GenerateSketches(const ComputeDAG* dag, const SketchOptions& 
 
 std::vector<State> SampleLowerablePopulation(const ComputeDAG* dag, int count, Rng* rng,
                                              const SamplerOptions& sampler,
-                                             const SketchOptions& options) {
+                                             const SketchOptions& options,
+                                             ProgramCache* cache) {
   std::vector<State> population;
   std::vector<State> sketches = GenerateSketches(dag, options);
   if (sketches.empty() || count <= 0) {
@@ -357,7 +359,13 @@ std::vector<State> SampleLowerablePopulation(const ComputeDAG* dag, int count, R
   while (static_cast<int>(population.size()) < count && attempts < count * 16) {
     ++attempts;
     State s = SampleCompleteProgram(sketches[rng->Index(sketches.size())], dag, rng, sampler);
-    if (!s.failed() && Lower(s).ok) {
+    if (s.failed()) {
+      continue;
+    }
+    // With a cache the artifact built for this probe is kept: the first
+    // scoring pass over the population gets it for free.
+    bool lowerable = cache != nullptr ? cache->GetOrBuild(s)->ok() : Lower(s).ok;
+    if (lowerable) {
       population.push_back(std::move(s));
     }
   }

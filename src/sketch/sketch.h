@@ -19,6 +19,8 @@
 
 namespace ansor {
 
+class ProgramCache;
+
 // A derivation rule: if `condition` holds at (state, stage_idx), `apply`
 // produces successor (state, next_stage_idx) pairs. `exclusive` rules stop
 // lower-priority rules from also firing on the same state (mirroring TVM's
@@ -61,10 +63,13 @@ std::vector<State> GenerateSketches(const ComputeDAG* dag,
 // Samples up to `count` complete programs from the DAG's sketches that also
 // lower successfully — the canonical way to seed an evolution population
 // (used by tests and benches). Gives up after 16 * count attempts so an
-// unsatisfiable request still terminates.
+// unsatisfiable request still terminates. When `cache` is given, the
+// lowerability probe goes through it, so the compiled artifact is kept and
+// reused by the first scoring pass instead of being thrown away.
 std::vector<State> SampleLowerablePopulation(const ComputeDAG* dag, int count, Rng* rng,
                                              const SamplerOptions& sampler = SamplerOptions(),
-                                             const SketchOptions& options = SketchOptions());
+                                             const SketchOptions& options = SketchOptions(),
+                                             ProgramCache* cache = nullptr);
 
 // The "SSRSRS" multi-level tile structure (paper §4.1) applied to one stage:
 // splits every space axis into `space_levels` parts and every reduce axis into

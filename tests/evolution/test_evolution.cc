@@ -281,20 +281,18 @@ TEST(Evolution, CrossoverScoreCacheScoresEachMemberOnce) {
   ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
   auto init = InitPopulation(&dag, 2, 27);
 
-  std::vector<std::vector<std::vector<float>>> rows(init.size());
-  std::vector<std::vector<std::string>> row_stages(init.size());
-  for (size_t i = 0; i < init.size(); ++i) {
-    LoweredProgram prog = Lower(init[i]);
-    ASSERT_TRUE(prog.ok);
-    rows[i] = ExtractFeatures(prog, &row_stages[i]);
-    ASSERT_FALSE(rows[i].empty());
+  std::vector<ProgramArtifactPtr> artifacts;
+  for (const State& s : init) {
+    artifacts.push_back(std::make_shared<const ProgramArtifact>(s));
+    ASSERT_TRUE(artifacts.back()->ok());
+    ASSERT_FALSE(artifacts.back()->features().empty());
   }
 
-  // Two identically seeded models: the cache must consume the model in the
-  // same order as direct per-program scoring of its misses.
+  // Two identically seeded models: the cache must produce exactly the scores
+  // direct per-program scoring would.
   RandomCostModel cache_model(5);
   RandomCostModel direct_model(5);
-  CrossoverScoreCache cache(&rows, &row_stages, &cache_model);
+  CrossoverScoreCache cache(&artifacts, &cache_model);
 
   cache.Request(0);
   cache.Request(0);  // second request of a queued member is a hit
@@ -305,9 +303,9 @@ TEST(Evolution, CrossoverScoreCacheScoresEachMemberOnce) {
 
   for (size_t i = 0; i < init.size(); ++i) {
     std::unordered_map<std::string, double> expect;
-    auto preds = direct_model.PredictStatements(rows[i]);
+    auto preds = direct_model.PredictStatements(artifacts[i]->features());
     for (size_t r = 0; r < preds.size(); ++r) {
-      expect[row_stages[i][r]] += preds[r];
+      expect[artifacts[i]->row_stages()[r]] += preds[r];
     }
     EXPECT_EQ(cache.Get(i), expect);
   }
@@ -316,6 +314,54 @@ TEST(Evolution, CrossoverScoreCacheScoresEachMemberOnce) {
   cache.Flush();
   EXPECT_EQ(cache.misses(), 2);
   EXPECT_EQ(cache.hits(), 2);
+
+  // The memos live on the artifacts: a fresh cache over the same artifacts
+  // (a later generation or round) starts with hits, not misses.
+  CrossoverScoreCache second(&artifacts, &cache_model);
+  second.Request(0);
+  second.Request(1);
+  EXPECT_EQ(second.hits(), 2);
+  EXPECT_EQ(second.misses(), 0);
+  EXPECT_EQ(second.Get(0), cache.Get(0));
+}
+
+TEST(Evolution, CrossoverScoreMemoInvalidatedByModelUpdate) {
+  ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
+  auto init = InitPopulation(&dag, 2, 28);
+  std::vector<ProgramArtifactPtr> artifacts;
+  for (const State& s : init) {
+    artifacts.push_back(std::make_shared<const ProgramArtifact>(s));
+  }
+
+  GbdtCostModel model;
+  {
+    CrossoverScoreCache cache(&artifacts, &model);
+    cache.Request(0);
+    cache.Flush();
+    EXPECT_EQ(cache.misses(), 1);
+  }
+  {
+    // Same model version: the memo survives.
+    CrossoverScoreCache cache(&artifacts, &model);
+    cache.Request(0);
+    EXPECT_EQ(cache.hits(), 1);
+  }
+  // Retraining bumps the model version, so stale memos read as absent.
+  Measurer measurer(MachineModel::IntelCpu20Core());
+  model.Update(dag.CanonicalHash(), {artifacts[0]->features()},
+               {measurer.Measure(init[0]).throughput});
+  {
+    CrossoverScoreCache cache(&artifacts, &model);
+    cache.Request(0);
+    EXPECT_EQ(cache.misses(), 1);
+    cache.Flush();  // recomputes under the new version
+  }
+  // A different model instance never matches another model's memo, even at
+  // an equal version number.
+  GbdtCostModel other;
+  CrossoverScoreCache cache(&artifacts, &other);
+  cache.Request(1);
+  EXPECT_EQ(cache.misses(), 1);
 }
 
 TEST(Evolution, EvolveReportsCacheStats) {
@@ -335,6 +381,9 @@ TEST(Evolution, EvolveReportsCacheStats) {
   EXPECT_EQ((stats.crossover_score_hits + stats.crossover_score_misses) % 2, 0);
   EXPECT_LE(stats.crossover_score_misses,
             static_cast<int64_t>(options.population + 8) * options.generations);
+  // Population scoring went through the (per-call) ProgramCache: at minimum
+  // every generation's population resolution is counted.
+  EXPECT_GT(stats.program_cache_hits + stats.program_cache_misses, 0);
 }
 
 TEST(Evolution, EvolveReturnsDistinctStates) {
