@@ -55,6 +55,7 @@ int Run() {
     const EvolutionStats& stats = es.stats();
     total.children_generated += stats.children_generated;
     total.child_attempts += stats.child_attempts;
+    total.statically_rejected += stats.statically_rejected;
     total.crossover_score_hits += stats.crossover_score_hits;
     total.crossover_score_misses += stats.crossover_score_misses;
     total.program_cache_hits += stats.program_cache_hits;
@@ -81,11 +82,48 @@ int Run() {
               static_cast<long long>(total.program_cache_misses),
               static_cast<long long>(total.program_cache_evictions),
               100.0 * program_hit_rate, cache.size());
+
+  // Static pre-filter A/B at equal measurement budget: the same tuning run
+  // with the verifier off vs on. Softmax over 512-wide rows makes the
+  // vectorize mutation regularly annotate a 512-extent loop — beyond the
+  // Intel model's 256-lane register budget, so the program fails on the
+  // (simulated) machine. Off, those candidates burn measurement trials
+  // (invalid_measures); on, the verifier rejects them before the measurer
+  // ever sees them (statically_rejected).
+  auto tune = [&](int verify_level, int64_t* rejected, int64_t* measures) {
+    ComputeDAG ab_dag = MakeSoftmax(64, 512);
+    Measurer ab_measurer(MachineModel::IntelCpu20Core());
+    GbdtCostModel ab_model;
+    SearchTask task = MakeSearchTask("micro_evolution_ab", std::move(ab_dag));
+    SearchOptions search = FastSearchOptions();
+    search.verify_level = verify_level;
+    TaskTuner tuner(task, &ab_measurer, &ab_model, search);
+    int trials = ScaledTrials(48);
+    for (int done = 0; done < trials; done += 16) {
+      tuner.TuneRound(16);
+    }
+    *rejected = tuner.statically_rejected();
+    *measures = tuner.total_measures();
+    return tuner.invalid_measures();
+  };
+  int64_t rejected_off = 0, rejected_on = 0;
+  int64_t measures_off = 0, measures_on = 0;
+  int64_t invalid_off = tune(0, &rejected_off, &measures_off);
+  int64_t invalid_on = tune(1, &rejected_on, &measures_on);
+  std::printf("verifier A/B (equal budget): off invalid=%lld/%lld  on invalid=%lld/%lld "
+              "statically_rejected=%lld\n",
+              static_cast<long long>(invalid_off), static_cast<long long>(measures_off),
+              static_cast<long long>(invalid_on), static_cast<long long>(measures_on),
+              static_cast<long long>(rejected_on));
+
   std::printf("BENCH_JSON {\"bench\":\"micro_evolution\",\"children_per_sec\":%.1f,"
               "\"attempts_per_sec\":%.1f,\"cache_hit_rate\":%.4f,"
-              "\"program_cache_hit_rate\":%.4f,\"threads\":%zu}\n",
+              "\"program_cache_hit_rate\":%.4f,\"statically_rejected\":%lld,"
+              "\"invalid_measures_verify_off\":%lld,\"invalid_measures_verify_on\":%lld,"
+              "\"threads\":%zu}\n",
               children_per_sec, attempts_per_sec, hit_rate, program_hit_rate,
-              ThreadPool::Global().num_threads());
+              static_cast<long long>(rejected_on), static_cast<long long>(invalid_off),
+              static_cast<long long>(invalid_on), ThreadPool::Global().num_threads());
   return 0;
 }
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates the checked-in benchmark snapshots (bench/BENCH_*.json) from a
+# built tree. Each micro benchmark prints one machine-readable "BENCH_JSON
+# {...}" line; this script runs them and extracts that line so compile-path
+# and search-path throughput (and the verifier's filtering win) can be
+# compared across commits.
+#
+# Usage: bench/snapshot.sh [build_dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+for bench in micro_evolution micro_pipeline; do
+  bin="$BUILD_DIR/bench/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not found; build first: cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+  out="bench/BENCH_$bench.json"
+  "$bin" | sed -n 's/^BENCH_JSON //p' > "$out"
+  if [[ ! -s "$out" ]]; then
+    echo "error: $bench printed no BENCH_JSON line" >&2
+    exit 1
+  fi
+  echo "wrote $out: $(cat "$out")"
+done

@@ -71,15 +71,23 @@ AccessPattern AnalyzeAccess(const BufferRef& buffer, const std::vector<Expr>& in
 std::vector<AccessPattern> StatementAccesses(
     const LoopTreeNode& store, const std::unordered_map<int64_t, int64_t>& var_extent) {
   std::vector<AccessPattern> accesses;
+  for (const AccessSite& site : StatementAccessSites(store)) {
+    accesses.push_back(AnalyzeAccess(site.buffer, *site.indices, site.is_write, var_extent));
+  }
+  return accesses;
+}
+
+std::vector<AccessSite> StatementAccessSites(const LoopTreeNode& store) {
+  std::vector<AccessSite> sites;
   std::vector<const ExprNode*> loads;
   if (store.value.defined()) {
     CollectLoads(store.value, &loads);
   }
   for (const ExprNode* load : loads) {
-    accesses.push_back(AnalyzeAccess(load->buffer, load->operands, false, var_extent));
+    sites.push_back(AccessSite{load->buffer, &load->operands, false});
   }
-  accesses.push_back(AnalyzeAccess(store.buffer, store.indices, true, var_extent));
-  return accesses;
+  sites.push_back(AccessSite{store.buffer, &store.indices, true});
+  return sites;
 }
 
 }  // namespace ansor

@@ -53,6 +53,21 @@ AccessPattern AnalyzeAccess(const BufferRef& buffer, const std::vector<Expr>& in
 std::vector<AccessPattern> StatementAccesses(
     const LoopTreeNode& store, const std::unordered_map<int64_t, int64_t>& var_extent);
 
+// One raw access site of a store statement: the buffer, the (unanalyzed)
+// index expressions, and whether it writes. The program verifier bounds each
+// index against the buffer shape; AnalyzeAccess consumes the same sites to
+// derive strides, so both walks agree on what counts as an access.
+struct AccessSite {
+  BufferRef buffer;
+  const std::vector<Expr>* indices = nullptr;  // borrowed from the store node
+  bool is_write = false;
+};
+
+// Enumerates the access sites of a store statement: every load in its value
+// expression (pre-order) followed by the store itself. The returned sites
+// borrow from `store`, which must outlive them.
+std::vector<AccessSite> StatementAccessSites(const LoopTreeNode& store);
+
 }  // namespace ansor
 
 #endif  // ANSOR_SRC_ANALYSIS_ACCESS_PATTERN_H_

@@ -79,7 +79,7 @@ std::vector<double> GbdtCostModel::Predict(
   scores.reserve(program_features.size());
   for (const auto& rows : program_features) {
     if (rows.empty()) {
-      scores.push_back(-1e9);  // invalid program
+      scores.push_back(kInvalidScore);  // empty features: failed lowering
     } else if (!model_.trained()) {
       scores.push_back(0.0);
     } else {
@@ -95,7 +95,7 @@ std::vector<double> GbdtCostModel::PredictBatch(
   scores.reserve(programs.size());
   for (const auto* rows : programs) {
     if (rows->empty()) {
-      scores.push_back(-1e9);  // invalid program
+      scores.push_back(kInvalidScore);  // empty features: failed lowering
     } else if (!model_.trained()) {
       scores.push_back(0.0);
     } else {
@@ -120,7 +120,7 @@ std::vector<double> RandomCostModel::Predict(
   std::vector<double> scores;
   scores.reserve(program_features.size());
   for (const auto& rows : program_features) {
-    scores.push_back(rows.empty() ? -1e9 : rng_.Uniform());
+    scores.push_back(rows.empty() ? kInvalidScore : rng_.Uniform());
   }
   return scores;
 }
@@ -132,7 +132,7 @@ std::vector<double> RandomCostModel::PredictBatch(
   std::vector<double> scores;
   scores.reserve(programs.size());
   for (const auto* rows : programs) {
-    scores.push_back(rows->empty() ? -1e9 : rng_.Uniform());
+    scores.push_back(rows->empty() ? kInvalidScore : rng_.Uniform());
   }
   return scores;
 }

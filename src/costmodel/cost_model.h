@@ -19,6 +19,15 @@ namespace ansor {
 
 class CostModel {
  public:
+  // The invalid-program contract, in one place:
+  //  * Prediction side: Predict/PredictBatch score a program with an empty
+  //    feature matrix (failed lowering) as kInvalidScore — far below any
+  //    real prediction, so fitness-proportional selection can never pick it.
+  //  * Training side: Update receives invalid measurements as throughput 0;
+  //    callers clear the feature matrix of possibly-transient failures so
+  //    the model only learns zero-throughput from confirmed-bad programs.
+  static constexpr double kInvalidScore = -1e9;
+
   CostModel();
   virtual ~CostModel() = default;
 
@@ -29,13 +38,14 @@ class CostModel {
 
   // Adds measured programs for the given task and retrains. `task_id`
   // identifies the DAG for per-task throughput normalization; `throughputs`
-  // are raw FLOPS (invalid programs should be reported as 0).
+  // are raw FLOPS, reported as 0 for invalid measurements (see the
+  // kInvalidScore contract above).
   virtual void Update(uint64_t task_id,
                       const std::vector<std::vector<std::vector<float>>>& program_features,
                       const std::vector<double>& throughputs) = 0;
 
   // Predicted fitness per program (higher is better). Scores are comparable
-  // within one task.
+  // within one task; programs with empty features score kInvalidScore.
   virtual std::vector<double> Predict(
       const std::vector<std::vector<std::vector<float>>>& program_features) = 0;
 

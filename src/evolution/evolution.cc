@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "src/analysis/program_verifier.h"
 #include "src/support/util.h"
 
 namespace ansor {
@@ -446,6 +447,7 @@ State EvolutionarySearch::RandomMutation(const State& state, Rng* rng) {
 
 std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, int num_out) {
   stats_ = EvolutionStats();
+  const int verify_level = EffectiveVerifyLevel(options_.verify_level);
   ThreadPool& pool = ThreadPool::OrGlobal(options_.thread_pool);
 
   // Resolve the compiled-program cache: the search policy injects its
@@ -489,8 +491,23 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
     }
     std::vector<double> scores = model_->PredictBatch(feature_ptrs);
 
+    // Admissibility: the state lowered (non-empty features) and, when static
+    // verification is on, the verifier proved it legal. Rejected members can
+    // never be selected as parents or returned, so they drop out of the next
+    // population; the reports come stamped on the cached artifacts, so each
+    // distinct program is verified once per task.
+    std::vector<char> admissible(pop, 0);
     for (size_t i = 0; i < pop; ++i) {
-      if (artifacts[i]->features().empty()) {
+      bool ok = !artifacts[i]->features().empty();
+      if (verify_level >= 1 && !artifacts[i]->statically_legal()) {
+        ok = false;
+        ++stats_.statically_rejected;
+      }
+      admissible[i] = ok ? 1 : 0;
+    }
+
+    for (size_t i = 0; i < pop; ++i) {
+      if (!admissible[i]) {
         continue;
       }
       if (best_sigs.insert(artifacts[i]->signature()).second) {
@@ -509,13 +526,13 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
       break;
     }
 
-    // Selection weights proportional to (shifted) fitness. States whose
-    // lowering or feature extraction failed get zero weight: they can never
-    // be picked as parents, so they drop out of the next population.
+    // Selection weights proportional to (shifted) fitness. Inadmissible
+    // states (failed lowering / feature extraction, or statically illegal)
+    // get zero weight: they can never be picked as parents.
     size_t n_valid = 0;
     double min_score = 0.0;
     for (size_t i = 0; i < pop; ++i) {
-      if (artifacts[i]->features().empty()) {
+      if (!admissible[i]) {
         continue;
       }
       min_score = n_valid == 0 ? scores[i] : std::min(min_score, scores[i]);
@@ -526,7 +543,7 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
     }
     std::vector<double> weights(pop, 0.0);
     for (size_t i = 0; i < pop; ++i) {
-      if (!artifacts[i]->features().empty()) {
+      if (admissible[i]) {
         weights[i] = scores[i] - min_score + 1e-3;
       }
     }
@@ -569,6 +586,12 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
       }
       score_cache.Flush();
       std::vector<State> children(wave, State());
+      // Invariant mode: every accepted child is verified at construction
+      // site, in the wave that produced it. A lowerable-but-illegal child
+      // means a schedule primitive or operator built a broken state — worth a
+      // diagnostic — while a lowering failure is a routine discard.
+      std::vector<char> wave_rejected(wave, 0);
+      std::vector<std::string> wave_diag(wave);
       pool.ParallelFor(wave, [&](size_t s) {
         Slot& slot = slots[s];
         if (slot.dead) {
@@ -580,10 +603,28 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
         } else {
           children[s] = RandomMutation(population[slot.pa], &slot.rng);
         }
+        if (verify_level >= 2 && !children[s].failed()) {
+          ProgramArtifactPtr artifact = cache->GetOrBuild(children[s]);
+          if (!artifact->statically_legal()) {
+            wave_rejected[s] = 1;
+            if (artifact->ok()) {
+              wave_diag[s] = artifact->verifier_report().ToString();
+            }
+          }
+        }
       });
       for (size_t s = 0; s < wave; ++s) {
         ++attempts;
         ++stats_.child_attempts;
+        if (wave_rejected[s]) {
+          ++stats_.statically_rejected;
+          if (!wave_diag[s].empty()) {
+            LOG(WARNING) << "ANSOR_CHECK_INVARIANTS: discarding illegal child at construction "
+                            "site:\n"
+                         << wave_diag[s];
+          }
+          continue;
+        }
         if (!children[s].failed() &&
             static_cast<int>(next.size()) < options_.population) {
           next.push_back(std::move(children[s]));

@@ -62,12 +62,28 @@ struct EvolutionOptions {
   // memos) survive across generations and tuning rounds. Results are
   // bit-identical for any cache and any capacity, including 0 = disabled.
   ProgramCache* program_cache = nullptr;
+  // Static verification level (see src/analysis/program_verifier.h):
+  //   0 — off: only the legacy lowerability test (empty features) filters;
+  //   1 — population members whose artifact fails the static verifier are
+  //       rejected before they can be selected as parents or returned;
+  //   2 — invariant mode: every accepted mutation/crossover child is
+  //       additionally verified at construction site, so a primitive that
+  //       builds an illegal state is caught in the generation that ran it.
+  // The ANSOR_CHECK_INVARIANTS environment variable raises the effective
+  // level to 2. For corpora containing no lowerable-but-illegal program,
+  // levels 0 and 1 produce bit-identical results.
+  int verify_level = 1;
 };
 
 // Counters for the child-generation hot path, reset by each Evolve() call.
 struct EvolutionStats {
   int64_t child_attempts = 0;      // mutation/crossover slots executed
   int64_t children_generated = 0;  // valid offspring admitted to a population
+  // Candidates rejected by the static program verifier (failed lowering,
+  // bounds/domain/ordering violations, resource limits) before any
+  // measurement: population members zero-weighted during scoring and, in
+  // invariant mode, children discarded at construction site.
+  int64_t statically_rejected = 0;
   // Crossover parent stage-score lookups served from a memo (same wave, an
   // earlier generation, or an earlier round at the same model version) vs
   // computed fresh (bounded by one scoring per population member per

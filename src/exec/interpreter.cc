@@ -28,6 +28,10 @@ class Interpreter {
     for (const LoopTreeNodeRef& root : program_.roots) {
       Exec(*root);
     }
+    if (!ctx_.error.empty()) {
+      result.error = "out-of-bounds access: " + ctx_.error;
+      return result;
+    }
     result.ok = true;
     result.buffers = std::move(storage_);
     return result;
@@ -62,7 +66,11 @@ class Interpreter {
         for (const Expr& idx : node.indices) {
           indices.push_back(Evaluate(idx, &ctx_).AsInt());
         }
-        int64_t flat = FlattenIndex(indices, node.buffer->shape);
+        bool had_error = !ctx_.error.empty();
+        int64_t flat = FlattenIndexClamped(indices, node.buffer->shape, &ctx_.error);
+        if (!had_error && !ctx_.error.empty()) {
+          ctx_.error = "store to " + node.buffer->name + ": " + ctx_.error;
+        }
         std::vector<float>& data = storage_[node.buffer->name];
         float v = static_cast<float>(Evaluate(node.value, &ctx_).AsFloat());
         if (node.is_accumulate) {

@@ -1,5 +1,7 @@
 #include "src/expr/affine.h"
 
+#include <algorithm>
+
 namespace ansor {
 namespace {
 
@@ -51,6 +53,239 @@ AffineForm AnalyzeAffine(const Expr& e) {
     form.constant = 0;
   }
   return form;
+}
+
+namespace {
+
+// Floor division, matching the evaluator's integer kDiv semantics.
+int64_t FloorDiv(int64_t x, int64_t y) {
+  int64_t q = x / y;
+  if ((x % y != 0) && ((x < 0) != (y < 0))) {
+    --q;
+  }
+  return q;
+}
+
+ValueRange RangeBinary(BinaryOp op, const ValueRange& a, const ValueRange& b) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return ValueRange::Of(a.min + b.min, a.max + b.max);
+    case BinaryOp::kSub:
+      return ValueRange::Of(a.min - b.max, a.max - b.min);
+    case BinaryOp::kMul: {
+      int64_t c[4] = {a.min * b.min, a.min * b.max, a.max * b.min, a.max * b.max};
+      return ValueRange::Of(*std::min_element(c, c + 4), *std::max_element(c, c + 4));
+    }
+    case BinaryOp::kDiv: {
+      if (b.min <= 0 && b.max >= 0) {
+        return ValueRange::Unknown();  // divisor interval contains zero
+      }
+      // FloorDiv is monotone in each argument over a zero-free divisor
+      // interval, so the extremes are at the corners.
+      int64_t c[4] = {FloorDiv(a.min, b.min), FloorDiv(a.min, b.max), FloorDiv(a.max, b.min),
+                      FloorDiv(a.max, b.max)};
+      return ValueRange::Of(*std::min_element(c, c + 4), *std::max_element(c, c + 4));
+    }
+    case BinaryOp::kMod: {
+      // Euclidean modulo: result lies in [0, divisor) for positive divisors.
+      if (b.min <= 0) {
+        return ValueRange::Unknown();
+      }
+      if (b.min == b.max && a.min >= 0 && a.max < b.min) {
+        return a;  // modulo is the identity on the whole numerator range
+      }
+      return ValueRange::Of(0, b.max - 1);
+    }
+    case BinaryOp::kMin:
+      return ValueRange::Of(std::min(a.min, b.min), std::min(a.max, b.max));
+    case BinaryOp::kMax:
+      return ValueRange::Of(std::max(a.min, b.min), std::max(a.max, b.max));
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+      return ValueRange::Of(0, 1);
+  }
+  return ValueRange::Unknown();
+}
+
+// Intersects a computed range with every constraint matching e structurally.
+// An unknown range becomes known only from a two-sided constraint. The
+// intersection may come out empty (min > max): the constraints cannot all
+// hold, so e sits in dead code and any interval is a sound superset of its
+// (empty) runtime value set.
+ValueRange ApplyConstraints(const Expr& e, ValueRange r,
+                            const std::vector<RangeConstraint>& constraints) {
+  for (const RangeConstraint& c : constraints) {
+    if (!StructuralEqual(c.expr, e)) {
+      continue;
+    }
+    if (!r.known) {
+      if (c.has_min && c.has_max) {
+        r = ValueRange::Of(c.min, c.max);
+      }
+      continue;
+    }
+    if (c.has_min) {
+      r.min = std::max(r.min, c.min);
+    }
+    if (c.has_max) {
+      r.max = std::min(r.max, c.max);
+    }
+  }
+  return r;
+}
+
+bool Empty(const ValueRange& r) { return r.known && r.min > r.max; }
+
+ValueRange RangeOfImpl(const Expr& e, const std::unordered_map<int64_t, int64_t>& var_extent,
+                       const std::vector<RangeConstraint>& constraints) {
+  if (!e.defined()) {
+    return ValueRange::Unknown();
+  }
+  const ExprNode& n = *e.get();
+  ValueRange base = ValueRange::Unknown();
+  switch (n.kind) {
+    case ExprKind::kIntImm:
+      base = ValueRange::Exact(n.int_value);
+      break;
+    case ExprKind::kVar: {
+      auto it = var_extent.find(n.var_id);
+      int64_t extent = it != var_extent.end() ? it->second : n.var_extent;
+      if (extent > 0) {
+        base = ValueRange::Of(0, extent - 1);
+      }
+      break;
+    }
+    case ExprKind::kBinary: {
+      ValueRange a = RangeOfImpl(n.operands[0], var_extent, constraints);
+      ValueRange b = RangeOfImpl(n.operands[1], var_extent, constraints);
+      if (!a.known || !b.known) {
+        // Comparisons and boolean connectives are {0, 1} regardless of
+        // whether their operands could be bounded.
+        switch (n.binary_op) {
+          case BinaryOp::kLt:
+          case BinaryOp::kLe:
+          case BinaryOp::kGt:
+          case BinaryOp::kGe:
+          case BinaryOp::kEq:
+          case BinaryOp::kNe:
+          case BinaryOp::kAnd:
+          case BinaryOp::kOr:
+            base = ValueRange::Of(0, 1);
+            break;
+          default:
+            break;
+        }
+      } else {
+        base = RangeBinary(n.binary_op, a, b);
+      }
+      break;
+    }
+    case ExprKind::kSelect: {
+      // Each branch only evaluates under (resp. against) the condition, so it
+      // is refined by the corresponding constraints; a branch whose
+      // constraints are unsatisfiable is dead and drops out of the union.
+      std::vector<RangeConstraint> on_true = constraints;
+      CollectRangeConstraints(n.operands[0], /*negate=*/false, &on_true);
+      std::vector<RangeConstraint> on_false = constraints;
+      CollectRangeConstraints(n.operands[0], /*negate=*/true, &on_false);
+      ValueRange t = RangeOfImpl(n.operands[1], var_extent, on_true);
+      ValueRange f = RangeOfImpl(n.operands[2], var_extent, on_false);
+      if (Empty(t)) {
+        base = f;
+      } else if (Empty(f)) {
+        base = t;
+      } else if (t.known && f.known) {
+        base = ValueRange::Of(std::min(t.min, f.min), std::max(t.max, f.max));
+      }
+      break;
+    }
+    default:
+      // Float immediates, intrinsic calls, loads and reductions never feed
+      // integer index positions that we need to bound.
+      break;
+  }
+  return ApplyConstraints(e, base, constraints);
+}
+
+}  // namespace
+
+void CollectRangeConstraints(const Expr& cond, bool negate, std::vector<RangeConstraint>* out) {
+  if (!cond.defined()) {
+    return;
+  }
+  const ExprNode& n = *cond.get();
+  if (n.kind != ExprKind::kBinary) {
+    return;
+  }
+  if ((n.binary_op == BinaryOp::kAnd && !negate) || (n.binary_op == BinaryOp::kOr && negate)) {
+    // cond true distributes over And; cond false over Or (De Morgan).
+    CollectRangeConstraints(n.operands[0], negate, out);
+    CollectRangeConstraints(n.operands[1], negate, out);
+    return;
+  }
+  // Normalize to expr-op-constant. A constant on the left flips the
+  // comparison: c < e  <=>  e > c.
+  BinaryOp op = n.binary_op;
+  const Expr* expr = &n.operands[0];
+  const ExprNode* rhs = n.operands[1].get();
+  if (rhs->kind != ExprKind::kIntImm) {
+    if (n.operands[0]->kind != ExprKind::kIntImm) {
+      return;
+    }
+    expr = &n.operands[1];
+    rhs = n.operands[0].get();
+    switch (op) {
+      case BinaryOp::kLt: op = BinaryOp::kGt; break;
+      case BinaryOp::kLe: op = BinaryOp::kGe; break;
+      case BinaryOp::kGt: op = BinaryOp::kLt; break;
+      case BinaryOp::kGe: op = BinaryOp::kLe; break;
+      case BinaryOp::kEq:
+      case BinaryOp::kNe: break;
+      default: return;
+    }
+  }
+  if (negate) {
+    switch (op) {
+      case BinaryOp::kLt: op = BinaryOp::kGe; break;
+      case BinaryOp::kLe: op = BinaryOp::kGt; break;
+      case BinaryOp::kGt: op = BinaryOp::kLe; break;
+      case BinaryOp::kGe: op = BinaryOp::kLt; break;
+      case BinaryOp::kEq: op = BinaryOp::kNe; break;
+      case BinaryOp::kNe: op = BinaryOp::kEq; break;
+      default: return;
+    }
+  }
+  int64_t c = rhs->int_value;
+  RangeConstraint constraint;
+  constraint.expr = *expr;
+  switch (op) {
+    case BinaryOp::kLt: constraint.has_max = true; constraint.max = c - 1; break;
+    case BinaryOp::kLe: constraint.has_max = true; constraint.max = c; break;
+    case BinaryOp::kGt: constraint.has_min = true; constraint.min = c + 1; break;
+    case BinaryOp::kGe: constraint.has_min = true; constraint.min = c; break;
+    case BinaryOp::kEq:
+      constraint.has_min = constraint.has_max = true;
+      constraint.min = constraint.max = c;
+      break;
+    case BinaryOp::kNe: return;  // punched interval: not representable
+    default: return;
+  }
+  out->push_back(constraint);
+}
+
+ValueRange RangeOf(const Expr& e, const std::unordered_map<int64_t, int64_t>& var_extent) {
+  return RangeOfImpl(e, var_extent, {});
+}
+
+ValueRange RangeOf(const Expr& e, const std::unordered_map<int64_t, int64_t>& var_extent,
+                   const std::vector<RangeConstraint>& constraints) {
+  return RangeOfImpl(e, var_extent, constraints);
 }
 
 }  // namespace ansor

@@ -9,6 +9,7 @@
 #define ANSOR_SRC_EXPR_AFFINE_H_
 
 #include <unordered_map>
+#include <vector>
 
 #include "src/expr/expr.h"
 
@@ -29,6 +30,52 @@ struct AffineForm {
 
 // Decomposes e into sum(coeff_i * var_i) + constant if possible.
 AffineForm AnalyzeAffine(const Expr& e);
+
+// Inclusive integer interval of the values an index expression can take.
+// known == false means the analysis could not bound the expression (float
+// arithmetic, loads, unbound variables); callers must be conservative.
+struct ValueRange {
+  bool known = false;
+  int64_t min = 0;
+  int64_t max = 0;
+
+  static ValueRange Exact(int64_t v) { return ValueRange{true, v, v}; }
+  static ValueRange Of(int64_t lo, int64_t hi) { return ValueRange{true, lo, hi}; }
+  static ValueRange Unknown() { return ValueRange{}; }
+};
+
+// Interval analysis of an integer index expression: each variable ranges over
+// [0, extent) where the extent comes from `var_extent` (falling back to the
+// extent stamped on the Var node). Unlike AnalyzeAffine this handles the full
+// index grammar the lowering emits — floor division, Euclidean modulo,
+// min/max clamps, selects (branch union) and comparisons — matching the
+// evaluator's semantics exactly, so a proven bound is a true runtime bound.
+ValueRange RangeOf(const Expr& e, const std::unordered_map<int64_t, int64_t>& var_extent);
+
+// A bound on the value of a subexpression established by a dominating guard:
+// min <= expr (when has_min) and expr <= max (when has_max). RangeOf applies
+// a constraint to every subexpression matching `expr` structurally, so a
+// guard on `x` tightens an index like `x - pad` — the padding idiom, where
+// the guard condition and the guarded index share the same subtree.
+struct RangeConstraint {
+  Expr expr;
+  bool has_min = false;
+  int64_t min = 0;
+  bool has_max = false;
+  int64_t max = 0;
+};
+
+// Extracts the constraints implied by `cond` holding (or, with negate, by it
+// failing): conjunctions of comparisons between an expression and an integer
+// immediate. Negation distributes over kOr (De Morgan) but a negated
+// conjunction is a disjunction and conservatively yields nothing.
+void CollectRangeConstraints(const Expr& cond, bool negate, std::vector<RangeConstraint>* out);
+
+// As RangeOf, refined by dominating guard constraints. A result with
+// min > max means the constraints are unsatisfiable — the expression sits in
+// dead code and never evaluates at runtime.
+ValueRange RangeOf(const Expr& e, const std::unordered_map<int64_t, int64_t>& var_extent,
+                   const std::vector<RangeConstraint>& constraints);
 
 }  // namespace ansor
 

@@ -1,5 +1,6 @@
 #include "src/expr/eval.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace ansor {
@@ -97,6 +98,24 @@ int64_t FlattenIndex(const std::vector<int64_t>& indices, const std::vector<int6
   return flat;
 }
 
+int64_t FlattenIndexClamped(const std::vector<int64_t>& indices,
+                            const std::vector<int64_t>& shape, std::string* error) {
+  CHECK_EQ(indices.size(), shape.size());
+  int64_t flat = 0;
+  for (size_t d = 0; d < shape.size(); ++d) {
+    int64_t i = indices[d];
+    if (i < 0 || i >= shape[d]) {
+      if (error->empty()) {
+        *error = "index " + std::to_string(i) + " out of range [0, " +
+                 std::to_string(shape[d]) + ") in dim " + std::to_string(d);
+      }
+      i = std::min(std::max<int64_t>(i, 0), shape[d] - 1);
+    }
+    flat = flat * shape[d] + i;
+  }
+  return flat;
+}
+
 Value Evaluate(const Expr& e, EvalContext* ctx) {
   CHECK(e.defined());
   const ExprNode& n = *e.get();
@@ -132,7 +151,11 @@ Value Evaluate(const Expr& e, EvalContext* ctx) {
       for (const Expr& idx : n.operands) {
         indices.push_back(Evaluate(idx, ctx).AsInt());
       }
-      int64_t flat = FlattenIndex(indices, n.buffer->shape);
+      bool had_error = !ctx->error.empty();
+      int64_t flat = FlattenIndexClamped(indices, n.buffer->shape, &ctx->error);
+      if (!had_error && !ctx->error.empty()) {
+        ctx->error = "load of " + n.buffer->name + ": " + ctx->error;
+      }
       return Value::Float(static_cast<double>((*it->second)[flat]));
     }
     case ExprKind::kReduce: {

@@ -30,14 +30,28 @@ struct EvalContext {
   std::unordered_map<int64_t, int64_t> vars;
   // Buffer storage, keyed by buffer name. Storage is row-major float.
   std::unordered_map<std::string, const std::vector<float>*> buffers;
+  // First out-of-range access diagnostic, set by evaluation instead of
+  // aborting: the offending index clamps into range so evaluation can finish
+  // harmlessly, and the executor reports the program as failed. Lowering
+  // inserts guards where needed, so a set error means an illegal program —
+  // exactly what the static verifier must have rejected (see
+  // src/analysis/program_verifier.h).
+  std::string error;
 };
 
-// Row-major flattening of a multi-dimensional index. Checks bounds.
+// Row-major flattening of a multi-dimensional index. Checks bounds fatally;
+// for the graceful path see FlattenIndexClamped.
 int64_t FlattenIndex(const std::vector<int64_t>& indices, const std::vector<int64_t>& shape);
 
+// As FlattenIndex, but an out-of-range index records a diagnostic in *error
+// (first failure wins) and clamps into range instead of aborting.
+int64_t FlattenIndexClamped(const std::vector<int64_t>& indices,
+                            const std::vector<int64_t>& shape, std::string* error);
+
 // Evaluates an expression. Reduce nodes are evaluated by iterating their full
-// reduction domain. Loads read from ctx.buffers; out-of-range loads are a
-// fatal error (the lowering inserts guards where needed).
+// reduction domain. Loads read from ctx.buffers; out-of-range loads set
+// ctx->error and clamp (the lowering inserts guards where needed, so legal
+// programs never trip this).
 Value Evaluate(const Expr& e, EvalContext* ctx);
 
 inline double EvaluateFloat(const Expr& e, EvalContext* ctx) {

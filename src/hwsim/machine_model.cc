@@ -1,6 +1,19 @@
 #include "src/hwsim/machine_model.h"
 
+#include <functional>
+
+#include "src/support/util.h"
+
 namespace ansor {
+
+uint64_t MachineModel::Fingerprint() const {
+  uint64_t seed = std::hash<std::string>()(name);
+  HashCombine(&seed, static_cast<uint64_t>(kind));
+  HashCombine(&seed, static_cast<uint64_t>(max_threads_per_core));
+  HashCombine(&seed, static_cast<uint64_t>(memory_capacity_bytes));
+  HashCombine(&seed, static_cast<uint64_t>(max_vector_extent));
+  return seed;
+}
 
 MachineModel MachineModel::IntelCpu20Core() {
   MachineModel m;
@@ -18,6 +31,8 @@ MachineModel MachineModel::IntelCpu20Core() {
   m.dram_line_cost_cycles = 80.0;
   m.loop_overhead_cycles = 1.0;
   m.parallel_task_overhead_cycles = 4e3;
+  m.memory_capacity_bytes = 64LL * 1024 * 1024 * 1024;  // 64 GiB server DRAM
+  m.max_vector_extent = 256;  // 8 lanes x 16 ymm registers, x2 for unrolling
   return m;
 }
 
@@ -36,6 +51,8 @@ MachineModel MachineModel::ArmCpu4Core() {
   m.dram_line_cost_cycles = 160.0;
   m.loop_overhead_cycles = 1.5;
   m.parallel_task_overhead_cycles = 8e3;
+  m.memory_capacity_bytes = 1LL * 1024 * 1024 * 1024;  // Pi 3b+: 1 GiB LPDDR2
+  m.max_vector_extent = 128;  // 4 lanes x 32 NEON q-registers
   return m;
 }
 
@@ -56,6 +73,8 @@ MachineModel MachineModel::NvidiaGpu() {
   m.loop_overhead_cycles = 1.0;
   m.parallel_task_overhead_cycles = 2e4;  // kernel launch
   m.max_threads_per_core = 2048;
+  m.memory_capacity_bytes = 16LL * 1024 * 1024 * 1024;  // 16 GiB HBM2
+  m.max_vector_extent = 1024;  // warp x 32 per-thread registers-equivalents
   return m;
 }
 

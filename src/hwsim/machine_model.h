@@ -46,6 +46,15 @@ struct MachineModel {
   // GPU only: maximum resident threads per SM.
   int max_threads_per_core = 2048;
 
+  // Static resource limits consumed by the program verifier
+  // (src/analysis/program_verifier.h). Zero means "unlimited".
+  int64_t memory_capacity_bytes = 0;  // total buffer footprint must fit
+  // Longest loop extent that may carry a kVectorize annotation: a vector
+  // loop must fit the register file (lanes x architectural vector registers)
+  // to avoid spilling, so longer loops are statically illegal rather than
+  // merely slow.
+  int64_t max_vector_extent = 0;
+
   // The 20-core Intel Xeon Platinum 8269CY of the paper (AVX-512 disabled for
   // search frameworks in §7.1, hence 8 lanes).
   static MachineModel IntelCpu20Core();
@@ -57,6 +66,11 @@ struct MachineModel {
   double PeakGflops() const {
     return clock_ghz * flops_per_cycle_per_core * num_cores * vector_lanes;
   }
+
+  // Stable identity of the fields the verifier's resource checks read, used
+  // to key per-machine memos on cached ProgramArtifacts. Two models with the
+  // same fingerprint yield identical resource verdicts for every program.
+  uint64_t Fingerprint() const;
 };
 
 }  // namespace ansor

@@ -11,7 +11,7 @@
 namespace ansor {
 
 Measurer::Measurer(MachineModel machine, MeasureOptions options)
-    : machine_(std::move(machine)), options_(options) {}
+    : machine_(std::move(machine)), options_(std::move(options)) {}
 
 MeasureResult Measurer::MeasureImpl(const State& state, uint64_t noise_tag,
                                     ProgramCache* cache) {

@@ -63,6 +63,15 @@ class Simulator {
       : program_(program), machine_(machine), options_(options) {}
 
   SimulatedCost Run() {
+    // Resource violations abort the simulated run like a failed build on real
+    // hardware (register spill past the file, OOM): the trial comes back
+    // invalid instead of being silently clamped to the machine's limits. Same
+    // semantics as the static resource check in src/analysis — a program the
+    // verifier rejects for this machine never measures valid on it.
+    if (std::string violation = ResourceViolation(); !violation.empty()) {
+      cost_.error = violation;
+      return cost_;
+    }
     for (const LoopTreeNodeRef& root : program_.roots) {
       Walk(*root, 1.0);
     }
@@ -73,6 +82,51 @@ class Simulator {
   }
 
  private:
+  // Mirrors VerifyResources (src/analysis/program_verifier.cc) so the static
+  // and dynamic judges agree on which programs this machine can run at all.
+  std::string ResourceViolation() const {
+    if (machine_.memory_capacity_bytes > 0) {
+      int64_t footprint = 0;
+      for (const auto& [name, buffer] : program_.buffers) {
+        footprint += buffer->NumElements() * static_cast<int64_t>(sizeof(float));
+      }
+      if (footprint > machine_.memory_capacity_bytes) {
+        return "buffer footprint " + std::to_string(footprint) +
+               " bytes exceeds machine memory capacity of " +
+               std::to_string(machine_.memory_capacity_bytes) + " bytes";
+      }
+    }
+    for (const LoopTreeNodeRef& root : program_.roots) {
+      if (std::string v = AnnotationViolation(*root); !v.empty()) {
+        return v;
+      }
+    }
+    return "";
+  }
+
+  std::string AnnotationViolation(const LoopTreeNode& node) const {
+    if (node.kind == LoopTreeKind::kLoop) {
+      if (node.annotation == IterAnnotation::kVectorize && machine_.max_vector_extent > 0 &&
+          node.extent > machine_.max_vector_extent) {
+        return "stage " + node.stage_name + ": vectorized loop extent " +
+               std::to_string(node.extent) + " exceeds the machine's register budget of " +
+               std::to_string(machine_.max_vector_extent) + " lanes-equivalents";
+      }
+      if (node.annotation == IterAnnotation::kThreadX && machine_.max_threads_per_core > 0 &&
+          node.extent > machine_.max_threads_per_core) {
+        return "stage " + node.stage_name + ": thread-bound loop extent " +
+               std::to_string(node.extent) + " exceeds " +
+               std::to_string(machine_.max_threads_per_core) + " resident threads per core";
+      }
+    }
+    for (const LoopTreeNodeRef& child : node.children) {
+      if (std::string v = AnnotationViolation(*child); !v.empty()) {
+        return v;
+      }
+    }
+    return "";
+  }
+
   void Walk(const LoopTreeNode& node, double selectivity) {
     switch (node.kind) {
       case LoopTreeKind::kLoop:

@@ -12,6 +12,31 @@ ProgramArtifact::ProgramArtifact(const State& state, std::string signature)
   if (lowered_.ok) {
     features_ = ExtractFeatures(lowered_, &row_stages_);
   }
+  verifier_report_ = VerifyProgram(state, lowered_);
+}
+
+std::shared_ptr<const CheckVerdict> ProgramArtifact::resource_verdict(
+    const MachineModel& machine) const {
+  uint64_t fingerprint = machine.Fingerprint();
+  {
+    std::lock_guard<std::mutex> lock(resources_mu_);
+    for (const ResourceMemo& memo : resources_) {
+      if (memo.machine_fingerprint == fingerprint) {
+        return memo.verdict;
+      }
+    }
+  }
+  // Computed outside the lock: the verdict is a pure function of
+  // (program, machine), so a racing duplicate is identical and harmless.
+  auto verdict = std::make_shared<const CheckVerdict>(VerifyResources(lowered_, machine));
+  std::lock_guard<std::mutex> lock(resources_mu_);
+  for (const ResourceMemo& memo : resources_) {
+    if (memo.machine_fingerprint == fingerprint) {
+      return memo.verdict;
+    }
+  }
+  resources_.push_back(ResourceMemo{fingerprint, verdict});
+  return verdict;
 }
 
 std::shared_ptr<const ScoredStages> ProgramArtifact::stage_scores(

@@ -9,11 +9,16 @@
 // memo of per-stage cost-model scores — so each distinct program is compiled
 // once per task and served from the ProgramCache thereafter.
 //
-// Artifacts are immutable after construction except for the stage-score
-// memo, which is stamped with the (model id, model version) it was computed
-// under: the memo is a pure function of (program, model state), so serving
-// it from the cache is bit-identical to recomputing it, and a cost-model
-// retrain (version bump) invalidates it automatically.
+// Artifacts also carry the static verifier's report (computed once at
+// construction) so legality of a distinct program is proven exactly once per
+// task, however many times the search re-encounters it.
+//
+// Artifacts are immutable after construction except for two memos: the
+// stage-score memo, stamped with the (model id, model version) it was
+// computed under, and the per-machine resource-check memo, keyed by
+// MachineModel fingerprint. Both are pure functions of (program, stamp), so
+// serving them from the cache is bit-identical to recomputing them, and a
+// cost-model retrain (version bump) invalidates the former automatically.
 #ifndef ANSOR_SRC_PROGRAM_PROGRAM_ARTIFACT_H_
 #define ANSOR_SRC_PROGRAM_PROGRAM_ARTIFACT_H_
 
@@ -23,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/analysis/program_verifier.h"
 #include "src/features/feature_extraction.h"
 #include "src/lower/loop_tree.h"
 
@@ -59,6 +65,22 @@ class ProgramArtifact {
   // Owning stage name of each feature row (node-based crossover scoring).
   const std::vector<std::string>& row_stages() const { return row_stages_; }
 
+  // The static verifier's machine-independent report (lowering, buffer
+  // bounds, iterator domains, def-before-use), computed once at construction
+  // — so the ProgramCache pays for verification once per distinct program.
+  const VerifierReport& verifier_report() const { return verifier_report_; }
+
+  // Machine-dependent resource verdict, memoized per MachineModel
+  // fingerprint under the same once-per-artifact discipline as the
+  // stage-score memo. Thread-safe; the returned snapshot is immutable.
+  std::shared_ptr<const CheckVerdict> resource_verdict(const MachineModel& machine) const;
+
+  // True when every evaluated check passed: the structural report is legal
+  // and, if a machine is given, its resource verdict is too.
+  bool statically_legal(const MachineModel* machine = nullptr) const {
+    return verifier_report_.legal() && (machine == nullptr || !resource_verdict(*machine)->failed());
+  }
+
   // The stage-score memo if it matches the given model stamp, else nullptr.
   // Thread-safe; the returned snapshot is immutable.
   std::shared_ptr<const ScoredStages> stage_scores(uint64_t model_id,
@@ -73,9 +95,17 @@ class ProgramArtifact {
   LoweredProgram lowered_;
   std::vector<std::vector<float>> features_;
   std::vector<std::string> row_stages_;
+  VerifierReport verifier_report_;
 
   mutable std::mutex scores_mu_;
   mutable std::shared_ptr<const ScoredStages> scores_;
+
+  struct ResourceMemo {
+    uint64_t machine_fingerprint = 0;
+    std::shared_ptr<const CheckVerdict> verdict;
+  };
+  mutable std::mutex resources_mu_;
+  mutable std::vector<ResourceMemo> resources_;
 };
 
 using ProgramArtifactPtr = std::shared_ptr<const ProgramArtifact>;

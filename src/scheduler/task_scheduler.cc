@@ -41,7 +41,7 @@ TaskScheduler::TaskScheduler(std::vector<SearchTask> tasks, std::vector<NetworkS
     : tasks_(std::move(tasks)),
       networks_(std::move(networks)),
       objective_(std::move(objective)),
-      options_(options),
+      options_(std::move(options)),
       rng_(options.seed) {
   CHECK(!tasks_.empty());
   for (const SearchTask& task : tasks_) {
@@ -128,6 +128,14 @@ ProgramCacheStats TaskScheduler::AggregateProgramCacheStats() const {
     total.hits += s.hits;
     total.misses += s.misses;
     total.evictions += s.evictions;
+  }
+  return total;
+}
+
+int64_t TaskScheduler::AggregateStaticallyRejected() const {
+  int64_t total = 0;
+  for (const auto& tuner : tuners_) {
+    total += tuner->statically_rejected();
   }
   return total;
 }

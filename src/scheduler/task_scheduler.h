@@ -80,6 +80,9 @@ class TaskScheduler {
   // Sum of the per-task compiled-program cache counters (each tuner owns a
   // task-lifetime ProgramCache; see SearchOptions::program_cache).
   ProgramCacheStats AggregateProgramCacheStats() const;
+  // Sum of the per-task static-verifier rejection counters (candidates
+  // filtered before measurement; see TaskTuner::statically_rejected()).
+  int64_t AggregateStaticallyRejected() const;
   // (cumulative trials, objective value) after every allocation.
   const std::vector<std::pair<int64_t, double>>& history() const { return history_; }
 

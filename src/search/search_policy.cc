@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "src/analysis/program_verifier.h"
 #include "src/support/thread_pool.h"
 
 namespace ansor {
@@ -47,6 +48,7 @@ double TaskTuner::TuneRound(int num_measures) {
   if (sketches_.empty() || num_measures <= 0) {
     return best_seconds_;
   }
+  const int verify_level = EffectiveVerifyLevel(options_.verify_level);
 
   // 1. Candidate generation. Signatures are kept alongside the candidates so
   // the measurement bookkeeping below never rebuilds them.
@@ -66,10 +68,23 @@ double TaskTuner::TuneRound(int num_measures) {
         invalid_it->second >= options_.max_invalid_measures) {
       return;  // failed measurement too often: treat as deterministically bad
     }
-    if (picked.insert(sig).second) {
-      to_measure.push_back(s);
-      to_measure_sigs.push_back(std::move(sig));
+    if (!picked.insert(sig).second) {
+      return;
     }
+    if (verify_level >= 1) {
+      // Pre-measurement static filter: a candidate the verifier proves
+      // illegal for this machine (failed lowering, bounds/domain/ordering
+      // violation, resource limits) must not burn a trial. The report rides
+      // on the cached artifact, so candidates the evolution already compiled
+      // are filtered for free.
+      ProgramArtifactPtr artifact = cache_->GetOrBuild(s);
+      if (!artifact->statically_legal(&measurer_->machine())) {
+        ++statically_rejected_;
+        return;
+      }
+    }
+    to_measure.push_back(s);
+    to_measure_sigs.push_back(std::move(sig));
   };
 
   if (options_.enable_fine_tuning) {
@@ -85,12 +100,14 @@ double TaskTuner::TuneRound(int num_measures) {
     evo.sampler = options_.sampler;
     evo.thread_pool = options_.thread_pool;
     evo.program_cache = cache_;
+    evo.verify_level = options_.verify_level;
     EvolutionarySearch evolution(task_.dag.get(), model_, rng_.Fork(), evo);
     int n_evolved = std::max(1, num_measures - static_cast<int>(options_.eps_random *
                                                                 num_measures));
     for (const State& s : evolution.Evolve(init, n_evolved)) {
       add_candidate(s);
     }
+    statically_rejected_ += evolution.stats().statically_rejected;
   }
   // Epsilon-greedy random exploration (all candidates when fine-tuning is
   // disabled — the "No fine-tuning" ablation).

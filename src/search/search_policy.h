@@ -87,6 +87,15 @@ struct SearchOptions {
   // program: transient hardware failures recover, deterministic failures stop
   // leaking one trial per round forever.
   int max_invalid_measures = 3;
+  // Static verification level (src/analysis/program_verifier.h): 0 = off,
+  // 1 = statically-illegal candidates (failed lowering, bounds/domain/
+  // ordering violations, machine resource limits) are rejected before they
+  // burn a measurement trial, 2 = invariant mode — the verifier additionally
+  // runs on every accepted evolution child at construction site. The
+  // ANSOR_CHECK_INVARIANTS environment variable raises the effective level
+  // to 2. Levels 0 and 1 are bit-identical on corpora with no statically
+  // illegal candidate (see the determinism tests).
+  int verify_level = 1;
 };
 
 // Per-task tuner holding search state across rounds so the task scheduler can
@@ -109,6 +118,11 @@ class TaskTuner {
   // Trials that came back invalid (counted separately: their signatures are
   // NOT blacklisted, so the program can be retried in a later round).
   int64_t invalid_measures() const { return invalid_measures_; }
+  // Candidates the static program verifier rejected before measurement
+  // (across evolution populations and the pre-measurement filter). Each
+  // rejection is a trial that would previously have been spent discovering
+  // the illegality dynamically.
+  int64_t statically_rejected() const { return statically_rejected_; }
   // Number of distinct programs with a recorded valid measurement.
   size_t measured_signature_count() const { return measured_signatures_.size(); }
   // (cumulative trial count, best seconds) after each round.
@@ -135,6 +149,7 @@ class TaskTuner {
   std::optional<State> best_state_;
   int64_t total_measures_ = 0;
   int64_t invalid_measures_ = 0;
+  int64_t statically_rejected_ = 0;
   std::vector<std::pair<int64_t, double>> history_;
   // Signatures of already-measured programs: never burn a trial twice on the
   // same program (mirrors TVM's measured-state dedup). Only programs with a

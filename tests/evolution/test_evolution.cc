@@ -102,7 +102,7 @@ TEST(Evolution, CrossoverMergesAndVerifies) {
   std::vector<State> parents;
   while (parents.size() < 2) {
     State s = SampleCompleteProgram(sketch, &dag, &rng);
-    if (!s.failed() && Lower(s).ok && s.steps().size() > 0) {
+    if (!s.failed() && Lower(s).ok && !s.steps().empty()) {
       // Crossover requires matching step skeletons.
       if (parents.empty() || s.steps().size() == parents[0].steps().size()) {
         parents.push_back(std::move(s));
@@ -192,7 +192,7 @@ TEST(Evolution, FailedMutationsNormalizeToEmptyStepHistory) {
   EvolutionarySearch es(&dag, &model, Rng(22));
   for (const State& parent : init) {
     for (int t = 0; t < 8; ++t) {
-      for (State child : {es.MutateTileSize(parent), es.MutatePragma(parent),
+      for (const State& child : {es.MutateTileSize(parent), es.MutatePragma(parent),
                           es.MutateParallelGranularity(parent), es.MutateVectorize(parent),
                           es.MutateComputeLocation(parent),
                           es.Crossover(parent, init[0])}) {

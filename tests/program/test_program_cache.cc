@@ -170,8 +170,10 @@ TEST(ProgramCacheConcurrency, ConcurrentStageScoreMemos) {
   EXPECT_GT(es.stats().crossover_score_hits + es.stats().crossover_score_misses, 0);
 }
 
-// Same seed ⇒ bit-identical evolution results for any thread count and any
-// cache capacity (0 = disabled, tiny = eviction-heavy, default).
+// Same seed ⇒ bit-identical evolution results for any thread count, any
+// cache capacity (0 = disabled, tiny = eviction-heavy, default) and any
+// verify_level in {0, 1}: on a corpus of legal programs the static
+// pre-filter rejects nothing, so enabling it must not perturb the search.
 TEST(ProgramCacheDeterminism, EvolveThreadAndCapacityMatrix) {
   ComputeDAG dag = testing::MatmulRelu(16, 16, 16);
   Rng init_rng(25);
@@ -180,7 +182,7 @@ TEST(ProgramCacheDeterminism, EvolveThreadAndCapacityMatrix) {
 
   // GBDT model trained identically per run so crossover stage scores are
   // real learned values, not constants.
-  auto run = [&](size_t threads, size_t capacity) {
+  auto run = [&](size_t threads, size_t capacity, int verify_level) {
     Measurer measurer(MachineModel::IntelCpu20Core());
     GbdtCostModel model;
     std::vector<std::vector<std::vector<float>>> features;
@@ -200,6 +202,7 @@ TEST(ProgramCacheDeterminism, EvolveThreadAndCapacityMatrix) {
     options.crossover_probability = 0.5;
     options.thread_pool = &pool;
     options.program_cache = &cache;
+    options.verify_level = verify_level;
     EvolutionarySearch es(&dag, &model, Rng(26), options);
     std::vector<std::string> sigs;
     for (const State& s : es.Evolve(init, 6)) {
@@ -209,20 +212,24 @@ TEST(ProgramCacheDeterminism, EvolveThreadAndCapacityMatrix) {
     return sigs;
   };
 
-  auto reference = run(1, ProgramCache::kDefaultCapacity);
+  auto reference = run(1, ProgramCache::kDefaultCapacity, /*verify_level=*/1);
   for (size_t threads : {size_t{1}, size_t{4}}) {
     for (size_t capacity : {size_t{0}, size_t{2}, ProgramCache::kDefaultCapacity}) {
-      EXPECT_EQ(run(threads, capacity), reference)
-          << "threads=" << threads << " capacity=" << capacity;
+      for (int verify_level : {0, 1}) {
+        EXPECT_EQ(run(threads, capacity, verify_level), reference)
+            << "threads=" << threads << " capacity=" << capacity
+            << " verify_level=" << verify_level;
+      }
     }
   }
 }
 
 // Same matrix through the full tuning loop: TuneTask must produce a
 // bit-identical history whether the task cache is disabled, tiny, or
-// default-sized, on 1 or 4 threads.
+// default-sized, on 1 or 4 threads, with the static verifier off or on
+// (a legal-only corpus: the pre-filter never fires, so it cannot perturb).
 TEST(ProgramCacheDeterminism, TuneTaskThreadAndCapacityMatrix) {
-  auto run = [&](size_t threads, size_t capacity) {
+  auto run = [&](size_t threads, size_t capacity, int verify_level) {
     ThreadPool pool(threads);
     MeasureOptions mopts;
     mopts.thread_pool = &pool;
@@ -232,24 +239,32 @@ TEST(ProgramCacheDeterminism, TuneTaskThreadAndCapacityMatrix) {
     SearchOptions options = testing::SmallSearchOptions();
     options.thread_pool = &pool;
     options.program_cache_capacity = capacity;
+    options.verify_level = verify_level;
     return TuneTask(task, &measurer, &model, /*trials=*/24, 8, options);
   };
 
-  TuneResult reference = run(1, ProgramCache::kDefaultCapacity);
+  TuneResult reference = run(1, ProgramCache::kDefaultCapacity, /*verify_level=*/1);
   ASSERT_TRUE(reference.best_state.has_value());
+  auto check = [&](size_t threads, size_t capacity, int verify_level) {
+    TuneResult r = run(threads, capacity, verify_level);
+    ASSERT_EQ(r.history.size(), reference.history.size());
+    for (size_t i = 0; i < r.history.size(); ++i) {
+      EXPECT_EQ(r.history[i].first, reference.history[i].first);
+      EXPECT_EQ(r.history[i].second, reference.history[i].second)  // bit-identical
+          << "threads=" << threads << " capacity=" << capacity
+          << " verify_level=" << verify_level << " round=" << i;
+    }
+    EXPECT_EQ(r.best_seconds, reference.best_seconds);
+    ASSERT_TRUE(r.best_state.has_value());
+    EXPECT_EQ(StepSignature(*r.best_state), StepSignature(*reference.best_state));
+  };
   for (size_t threads : {size_t{1}, size_t{4}}) {
     for (size_t capacity : {size_t{0}, size_t{8}, ProgramCache::kDefaultCapacity}) {
-      TuneResult r = run(threads, capacity);
-      ASSERT_EQ(r.history.size(), reference.history.size());
-      for (size_t i = 0; i < r.history.size(); ++i) {
-        EXPECT_EQ(r.history[i].first, reference.history[i].first);
-        EXPECT_EQ(r.history[i].second, reference.history[i].second)  // bit-identical
-            << "threads=" << threads << " capacity=" << capacity << " round=" << i;
-      }
-      EXPECT_EQ(r.best_seconds, reference.best_seconds);
-      ASSERT_TRUE(r.best_state.has_value());
-      EXPECT_EQ(StepSignature(*r.best_state), StepSignature(*reference.best_state));
+      check(threads, capacity, /*verify_level=*/1);
     }
+    // Verifier off: same history on a legal-only corpus, fewer total runs —
+    // the off/on equivalence is the claim, not the full cross-product.
+    check(threads, ProgramCache::kDefaultCapacity, /*verify_level=*/0);
   }
 }
 
