@@ -1,0 +1,168 @@
+// Micro-benchmark for the TuningService (tuning-as-a-service): a fleet of
+// concurrent tuning jobs with overlapping similarity tags, run twice over the
+// same worker pool — serial admission (max_concurrent_jobs=1, the legacy
+// one-job-at-a-time fleet) vs overlapped admission (all jobs concurrent, each
+// job's search filling the device-occupancy time of the others' measurement
+// batches). Emits a "BENCH_JSON {...}" line with per-job turnaround
+// percentiles, the serial-vs-overlapped speedup on summed turnaround, and the
+// cross-task ProgramCache hit rate the per-tag shared caches deliver.
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/service/tuning_service.h"
+#include "src/support/thread_pool.h"
+
+namespace ansor {
+namespace bench {
+namespace {
+
+constexpr int kJobs = 3;
+constexpr int kWorkers = 4;
+// Emulated per-trial device occupancy: measurement holds its worker for this
+// wall-clock time (remote RPC / on-device run), which is exactly the idle
+// time overlapped admission reclaims for other jobs' search.
+constexpr double kMeasureLatencySeconds = 0.01;
+
+TaskSchedulerOptions JobOptions(uint64_t seed) {
+  TaskSchedulerOptions options;
+  options.measures_per_round = 8;
+  options.seed = seed;
+  options.search.population = 12;
+  options.search.generations = 1;
+  options.search.random_samples_per_round = 6;
+  options.search.seed = seed * 31 + 7;
+  return options;
+}
+
+// Two structurally similar matmuls per job, all six tasks sharing one
+// similarity tag so the service hands every job the same shared cache.
+std::vector<SearchTask> JobTasks(int job) {
+  int64_t n = 32 << (job % 2);
+  return {MakeSearchTask("mm_a", MakeMatmul(n, 32, 32), 1, "mm"),
+          MakeSearchTask("mm_b", MakeMatmul(32, n, 32), 1, "mm")};
+}
+
+struct ModeResult {
+  bool ok = false;
+  std::vector<double> turnaround_seconds;  // per job
+  double sum_turnaround_seconds = 0.0;
+  int64_t cross_task_hits = 0;
+  int64_t cache_lookups = 0;
+};
+
+ModeResult RunMode(int max_concurrent_jobs, int rounds_per_job) {
+  ModeResult result;
+  TuningServiceOptions service_options;
+  service_options.num_workers = kWorkers;
+  service_options.max_concurrent_jobs = max_concurrent_jobs;
+  TuningService service(service_options);
+
+  std::vector<std::unique_ptr<ThreadPool>> device_pools;
+  std::vector<std::unique_ptr<Measurer>> measurers;
+  std::vector<std::unique_ptr<GbdtCostModel>> models;
+  std::vector<JobHandle> handles;
+  for (int j = 0; j < kJobs; ++j) {
+    // Each tenant measures on its own device: a single-thread executor whose
+    // occupancy (the emulated RPC/on-device latency) is what overlapped
+    // admission reclaims by running other tenants' search meanwhile.
+    device_pools.push_back(std::make_unique<ThreadPool>(1));
+    MeasureOptions measure_options;
+    measure_options.measure_latency_seconds = kMeasureLatencySeconds;
+    measure_options.thread_pool = device_pools.back().get();
+    measurers.push_back(std::make_unique<Measurer>(MachineModel::IntelCpu20Core(),
+                                                   measure_options));
+    models.push_back(std::make_unique<GbdtCostModel>());
+    JobSpec spec;
+    spec.name = "job" + std::to_string(j);
+    spec.tasks = JobTasks(j);
+    spec.networks = {{"net", {0, 1}}};
+    spec.objective = Objective::SumLatency();
+    spec.options = JobOptions(100 + static_cast<uint64_t>(j));
+    spec.total_rounds = rounds_per_job;
+    spec.measurer = measurers.back().get();
+    spec.model = models.back().get();
+    handles.push_back(service.Submit(std::move(spec)));
+  }
+  service.WaitAll();
+
+  for (const JobHandle& handle : handles) {
+    const JobReport& report = handle.report();
+    if (report.status != JobStatus::kCompleted) {
+      std::fprintf(stderr, "micro_service: job %s finished %s, expected completed\n",
+                   handle.name().c_str(), JobStatusName(report.status));
+      return result;
+    }
+    result.turnaround_seconds.push_back(report.turnaround_seconds);
+    result.sum_turnaround_seconds += report.turnaround_seconds;
+    result.cross_task_hits += report.cache.cross_client_hits;
+    result.cache_lookups += report.cache.lookups;
+  }
+  result.ok = true;
+  return result;
+}
+
+double Percentile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  size_t idx = std::min(values.size() - 1,
+                        static_cast<size_t>(q * static_cast<double>(values.size() - 1) + 0.5));
+  return values[idx];
+}
+
+int Run() {
+  int rounds_per_job = std::max(2, static_cast<int>(8 * Scale()));
+  PrintHeader("micro_service: multi-job TuningService, serial vs overlapped");
+  std::printf("jobs=%d workers=%d rounds_per_job=%d measure_latency=%.0f ms\n", kJobs,
+              kWorkers, rounds_per_job, 1e3 * kMeasureLatencySeconds);
+
+  ModeResult serial = RunMode(/*max_concurrent_jobs=*/1, rounds_per_job);
+  ModeResult overlapped = RunMode(/*max_concurrent_jobs=*/kJobs, rounds_per_job);
+  if (!serial.ok || !overlapped.ok) {
+    return 1;
+  }
+
+  double speedup = overlapped.sum_turnaround_seconds > 0.0
+                       ? serial.sum_turnaround_seconds / overlapped.sum_turnaround_seconds
+                       : 0.0;
+  double p50 = Percentile(overlapped.turnaround_seconds, 0.50);
+  double p95 = Percentile(overlapped.turnaround_seconds, 0.95);
+  double p99 = Percentile(overlapped.turnaround_seconds, 0.99);
+  double cross_rate =
+      overlapped.cache_lookups > 0
+          ? static_cast<double>(overlapped.cross_task_hits) /
+                static_cast<double>(overlapped.cache_lookups)
+          : 0.0;
+
+  PrintColumns({"serial", "overlapped"});
+  for (int j = 0; j < kJobs; ++j) {
+    PrintRow("job" + std::to_string(j) + " turnaround (s)",
+             {serial.turnaround_seconds[static_cast<size_t>(j)],
+              overlapped.turnaround_seconds[static_cast<size_t>(j)]});
+  }
+  PrintRow("sum turnaround (s)",
+           {serial.sum_turnaround_seconds, overlapped.sum_turnaround_seconds});
+  std::printf("overlap speedup on sum turnaround: %.2fx\n", speedup);
+  std::printf("fleet turnaround p50/p95/p99 (overlapped): %.3f / %.3f / %.3f s\n", p50,
+              p95, p99);
+  std::printf("cross-task cache hits (overlapped): %lld of %lld lookups (%.1f%%)\n",
+              static_cast<long long>(overlapped.cross_task_hits),
+              static_cast<long long>(overlapped.cache_lookups), 100.0 * cross_rate);
+
+  std::printf("BENCH_JSON {\"bench\":\"micro_service\",\"jobs\":%d,\"workers\":%d,"
+              "\"rounds_per_job\":%d,\"serial_sum_turnaround_s\":%.3f,"
+              "\"overlapped_sum_turnaround_s\":%.3f,\"overlap_speedup\":%.2f,"
+              "\"p50_turnaround_s\":%.3f,\"p95_turnaround_s\":%.3f,"
+              "\"p99_turnaround_s\":%.3f,\"cross_task_hits\":%lld,"
+              "\"cross_task_hit_rate\":%.4f}\n",
+              kJobs, kWorkers, rounds_per_job, serial.sum_turnaround_seconds,
+              overlapped.sum_turnaround_seconds, speedup, p50, p95, p99,
+              static_cast<long long>(overlapped.cross_task_hits), cross_rate);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ansor
+
+int main() { return ansor::bench::Run(); }

@@ -361,7 +361,7 @@ State EvolutionarySearch::MutateComputeLocation(const State& state, Rng* rng) {
 CrossoverScoreCache::StageScores EvolutionarySearch::ComputeStageScores(const State& s) {
   CrossoverScoreCache::StageScores scores;
   ProgramArtifactPtr artifact = options_.program_cache != nullptr
-                                    ? options_.program_cache->GetOrBuild(s)
+                                    ? options_.program_cache->GetOrBuild(s, options_.cache_client_id)
                                     : std::make_shared<const ProgramArtifact>(s);
   if (!artifact->ok()) {
     return scores;
@@ -483,7 +483,7 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
     const size_t pop = population.size();
     std::vector<ProgramArtifactPtr> artifacts(pop);
     pool.ParallelFor(pop, [&](size_t i) {
-      artifacts[i] = cache->GetOrBuild(population[i]);
+      artifacts[i] = cache->GetOrBuild(population[i], options_.cache_client_id);
     });
     std::vector<const std::vector<std::vector<float>>*> feature_ptrs(pop);
     for (size_t i = 0; i < pop; ++i) {
@@ -604,7 +604,7 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
           children[s] = RandomMutation(population[slot.pa], &slot.rng);
         }
         if (verify_level >= 2 && !children[s].failed()) {
-          ProgramArtifactPtr artifact = cache->GetOrBuild(children[s]);
+          ProgramArtifactPtr artifact = cache->GetOrBuild(children[s], options_.cache_client_id);
           if (!artifact->statically_legal()) {
             wave_rejected[s] = 1;
             if (artifact->ok()) {

@@ -62,6 +62,10 @@ struct EvolutionOptions {
   // memos) survive across generations and tuning rounds. Results are
   // bit-identical for any cache and any capacity, including 0 = disabled.
   ProgramCache* program_cache = nullptr;
+  // Consumer id tagged onto every program_cache lookup so a cache shared
+  // across tasks can attribute cross-task reuse (ProgramCache::GetOrBuild).
+  // 0 = anonymous. Counters only; results are identical for any id.
+  uint64_t cache_client_id = 0;
   // Static verification level (see src/analysis/program_verifier.h):
   //   0 — off: only the legacy lowerability test (empty features) filters;
   //   1 — population members whose artifact fails the static verifier are

@@ -1,6 +1,8 @@
 #include "src/hwsim/measurer.h"
 
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "src/exec/interpreter.h"
 #include "src/program/program_cache.h"
@@ -10,11 +12,76 @@
 
 namespace ansor {
 
+// Shared state between a PendingMeasureBatch handle and the pool tasks
+// measuring its items. Each enqueued task claims its fixed index, checks the
+// cancellation flag, measures (or marks the result cancelled), and the last
+// one to finish wakes the waiter.
+struct PendingMeasureBatch::Shared {
+  Measurer* measurer = nullptr;
+  ProgramCache* cache = nullptr;
+  uint64_t cache_client_id = 0;
+  std::vector<State> states;
+  std::vector<MeasureResult> results;
+  std::atomic<bool> cancel{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;  // guarded by mu
+
+  void RunItem(size_t i) {
+    if (cancel.load(std::memory_order_acquire)) {
+      results[i].cancelled = true;
+      results[i].error = "cancelled before start";
+    } else {
+      results[i] = measurer->MeasureImpl(states[i], 0, cache, cache_client_id);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    if (++done == states.size()) {
+      cv.notify_all();
+    }
+  }
+};
+
+std::vector<MeasureResult> PendingMeasureBatch::Wait() {
+  if (shared_ == nullptr) {
+    return {};
+  }
+  {
+    std::unique_lock<std::mutex> lock(shared_->mu);
+    shared_->cv.wait(lock, [&] { return shared_->done == shared_->states.size(); });
+  }
+  std::vector<MeasureResult> results = std::move(shared_->results);
+  shared_.reset();
+  return results;
+}
+
+bool PendingMeasureBatch::WaitFor(double seconds) {
+  if (shared_ == nullptr) {
+    return true;
+  }
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  return shared_->cv.wait_for(lock, std::chrono::duration<double>(std::max(0.0, seconds)),
+                              [&] { return shared_->done == shared_->states.size(); });
+}
+
+void PendingMeasureBatch::Cancel() {
+  if (shared_ != nullptr) {
+    shared_->cancel.store(true, std::memory_order_release);
+  }
+}
+
+bool PendingMeasureBatch::done() const {
+  if (shared_ == nullptr) {
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->done == shared_->states.size();
+}
+
 Measurer::Measurer(MachineModel machine, MeasureOptions options)
     : machine_(std::move(machine)), options_(std::move(options)) {}
 
 MeasureResult Measurer::MeasureImpl(const State& state, uint64_t noise_tag,
-                                    ProgramCache* cache) {
+                                    ProgramCache* cache, uint64_t cache_client_id) {
   trials_.fetch_add(1);
   MeasureResult result;
   if (state.failed()) {
@@ -27,7 +94,7 @@ MeasureResult Measurer::MeasureImpl(const State& state, uint64_t noise_tag,
   LoweredProgram local;
   const LoweredProgram* program;
   if (cache != nullptr) {
-    artifact = cache->GetOrBuild(state);
+    artifact = cache->GetOrBuild(state, cache_client_id);
     program = &artifact->lowered();
   } else {
     local = Lower(state);
@@ -43,6 +110,7 @@ MeasureResult Measurer::MeasureImpl(const State& state, uint64_t noise_tag,
   }
   if (options_.verify_every > 0 &&
       verify_counter_.fetch_add(1) % options_.verify_every == 0) {
+    verifications_.fetch_add(1);
     std::string mismatch = VerifyAgainstNaive(state, *program);
     if (!mismatch.empty()) {
       result.error = "verification failed: " + mismatch;
@@ -50,6 +118,14 @@ MeasureResult Measurer::MeasureImpl(const State& state, uint64_t noise_tag,
     }
   }
   SimulatedCost cost = SimulateProgram(*program, machine_, options_.sim);
+  // Emulated device occupancy: the trial holds this worker for the configured
+  // wall-clock duration, like a real on-device run would. Applied to valid
+  // and invalid simulations alike (both occupied the device), but not to
+  // programs that never compiled.
+  if (options_.measure_latency_seconds > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.measure_latency_seconds));
+  }
   if (!cost.valid) {
     result.error = cost.error;
     return result;
@@ -73,18 +149,45 @@ MeasureResult Measurer::MeasureImpl(const State& state, uint64_t noise_tag,
   return result;
 }
 
-MeasureResult Measurer::Measure(const State& state, ProgramCache* cache) {
-  return MeasureImpl(state, 0, cache != nullptr ? cache : options_.program_cache);
+MeasureResult Measurer::Measure(const State& state, ProgramCache* cache,
+                                uint64_t cache_client_id) {
+  return MeasureImpl(state, 0, cache != nullptr ? cache : options_.program_cache,
+                     cache_client_id);
 }
 
 std::vector<MeasureResult> Measurer::MeasureBatch(const std::vector<State>& states,
-                                                  ProgramCache* cache) {
+                                                  ProgramCache* cache,
+                                                  uint64_t cache_client_id) {
   ProgramCache* resolved = cache != nullptr ? cache : options_.program_cache;
   std::vector<MeasureResult> results(states.size());
   ThreadPool::OrGlobal(options_.thread_pool).ParallelFor(states.size(), [&](size_t i) {
-    results[i] = MeasureImpl(states[i], 0, resolved);
+    results[i] = MeasureImpl(states[i], 0, resolved, cache_client_id);
   });
   return results;
+}
+
+PendingMeasureBatch Measurer::SubmitBatch(std::vector<State> states, ProgramCache* cache,
+                                          uint64_t cache_client_id, ThreadPool* pool) {
+  PendingMeasureBatch handle;
+  if (states.empty()) {
+    return handle;
+  }
+  auto shared = std::make_shared<PendingMeasureBatch::Shared>();
+  shared->measurer = this;
+  shared->cache = cache != nullptr ? cache : options_.program_cache;
+  shared->cache_client_id = cache_client_id;
+  shared->states = std::move(states);
+  shared->results.resize(shared->states.size());
+  handle.shared_ = shared;
+  // A measurer configured with its own pool owns a device executor (e.g. one
+  // thread per attached board); its occupancy must not be diluted onto the
+  // caller's host workers. Only measurers without one use the caller's pool.
+  ThreadPool& resolved = ThreadPool::OrGlobal(
+      options_.thread_pool != nullptr ? options_.thread_pool : pool);
+  for (size_t i = 0; i < shared->states.size(); ++i) {
+    resolved.Enqueue([shared, i] { shared->RunItem(i); });
+  }
+  return handle;
 }
 
 }  // namespace ansor

@@ -8,8 +8,10 @@
 #define ANSOR_SRC_HWSIM_MEASURER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -37,22 +39,65 @@ struct MeasureOptions {
   // hiccups, timeouts). The search must tolerate these without permanently
   // blacklisting the affected programs.
   std::function<bool(const State&)> fail_injector;
-  // Pool for MeasureBatch; nullptr = ThreadPool::Global(). Injectable so the
-  // thread-count-invariance tests control every parallel stage of a round.
+  // Pool for MeasureBatch / SubmitBatch; nullptr = the caller's pool (async
+  // path) or ThreadPool::Global(). Injectable so the thread-count-invariance
+  // tests control every parallel stage of a round, and so a measurer can model
+  // a dedicated device executor whose capacity is independent of the host
+  // workers (the micro_service bench gives each tenant's measurer a
+  // single-thread device pool).
   ThreadPool* thread_pool = nullptr;
   // Default compiled-program cache: candidates already lowered by the search
   // (population scoring) are measured without re-lowering. Overridable per
   // call — the search policy passes its task-lifetime cache — and nullptr
   // means lower from scratch. Measurement results are identical either way.
   ProgramCache* program_cache = nullptr;
+  // Emulated per-trial device occupancy (seconds): after computing the
+  // simulated cost, the measurement holds its worker for this wall-clock
+  // duration, modeling the host-idle time real hardware measurement imposes
+  // (remote RPC round trips, on-device runs). 0 = off. Timing only — the
+  // measured values are unaffected, so determinism tests are unaffected too.
+  double measure_latency_seconds = 0.0;
 };
 
 struct MeasureResult {
   bool valid = false;
+  // True when the measurement was cancelled before it started (deadline hit,
+  // PendingMeasureBatch::Cancel). A cancelled trial never reached the device:
+  // it does not count toward Measurer::trial_count() and the search must not
+  // treat it as a failed measurement (no blacklist, no zero-throughput
+  // training sample, no spent budget).
+  bool cancelled = false;
   std::string error;
   double seconds = 0.0;
   // FLOPS achieved (task flop count / seconds); the search maximizes this.
   double throughput = 0.0;
+};
+
+// Handle to an in-flight asynchronous measurement batch (Measurer::
+// SubmitBatch). The async seam of the tuning service: while a batch occupies
+// the worker pool (or sleeps out its emulated device latency), the submitting
+// job keeps searching. Results are index-aligned with the submitted states
+// and independent of worker count or completion order.
+class PendingMeasureBatch {
+ public:
+  // An empty handle behaves like a completed empty batch.
+  PendingMeasureBatch() = default;
+
+  // Blocks until every item has finished (or been skipped by Cancel) and
+  // returns the results. May be called once; subsequent calls return empty.
+  std::vector<MeasureResult> Wait();
+  // Waits up to `seconds`; true when the batch has fully completed.
+  bool WaitFor(double seconds);
+  // Requests cancellation: items not yet started complete immediately with
+  // cancelled = true; items already measuring finish normally. Wait() still
+  // must be called to collect the results.
+  void Cancel();
+  bool done() const;
+
+ private:
+  friend class Measurer;
+  struct Shared;
+  std::shared_ptr<Shared> shared_;
 };
 
 class Measurer {
@@ -63,21 +108,50 @@ class Measurer {
 
   // `cache` overrides MeasureOptions::program_cache for this call (the
   // search policy injects its per-task cache); nullptr falls back to it.
-  MeasureResult Measure(const State& state, ProgramCache* cache = nullptr);
+  // `cache_client_id` tags the cache lookups for cross-task accounting
+  // (ProgramCache::GetOrBuild); 0 = anonymous.
+  MeasureResult Measure(const State& state, ProgramCache* cache = nullptr,
+                        uint64_t cache_client_id = 0);
   std::vector<MeasureResult> MeasureBatch(const std::vector<State>& states,
-                                          ProgramCache* cache = nullptr);
+                                          ProgramCache* cache = nullptr,
+                                          uint64_t cache_client_id = 0);
+
+  // Asynchronous MeasureBatch: enqueues one measurement per state and returns
+  // immediately. Items run on MeasureOptions::thread_pool when set (the
+  // measurer's device executor — a dedicated target device must not have its
+  // occupancy diluted onto host workers), else on `pool`, else the global
+  // pool. The submit/drain split lets the caller overlap its own work
+  // — the next round's search, training-feature extraction — with the batch
+  // in flight, and lets a deadline cancel the unstarted remainder. The
+  // Measurer (and cache, if any) must outlive the returned handle's Wait().
+  PendingMeasureBatch SubmitBatch(std::vector<State> states, ProgramCache* cache = nullptr,
+                                  uint64_t cache_client_id = 0, ThreadPool* pool = nullptr);
 
   // Total number of measurement trials performed (the budget unit of §7).
+  // Cancelled batch items never started, so they are not counted.
   int64_t trial_count() const { return trials_.load(); }
-  void ResetTrialCount() { trials_.store(0); }
+  // Resets the budget counter AND the verify_every phase: back-to-back runs
+  // sharing one Measurer each start their verification cadence at trial 0
+  // (the phase used to drift across runs — see MeasurerVerifyCadence tests).
+  void ResetTrialCount() {
+    trials_.store(0);
+    verify_counter_.store(0);
+  }
+  // Number of measurements that were verified against naive execution
+  // (observability for the verify_every cadence).
+  int64_t verification_count() const { return verifications_.load(); }
 
  private:
-  MeasureResult MeasureImpl(const State& state, uint64_t noise_tag, ProgramCache* cache);
+  friend class PendingMeasureBatch;  // batch items run through MeasureImpl
+
+  MeasureResult MeasureImpl(const State& state, uint64_t noise_tag, ProgramCache* cache,
+                            uint64_t cache_client_id);
 
   MachineModel machine_;
   MeasureOptions options_;
   std::atomic<int64_t> trials_{0};
   std::atomic<int64_t> verify_counter_{0};
+  std::atomic<int64_t> verifications_{0};
 };
 
 }  // namespace ansor

@@ -36,7 +36,7 @@ ProgramCache::Shard& ProgramCache::ShardFor(const std::string& key) {
   return shards_[std::hash<std::string>()(key) % shards_.size()];
 }
 
-ProgramArtifactPtr ProgramCache::GetOrBuild(const State& state) {
+ProgramArtifactPtr ProgramCache::GetOrBuild(const State& state, uint64_t client_id) {
   if (state.failed()) {
     return std::make_shared<const ProgramArtifact>(state);
   }
@@ -47,6 +47,9 @@ ProgramArtifactPtr ProgramCache::GetOrBuild(const State& state) {
     {
       std::lock_guard<std::mutex> lock(shard.mu);
       ++shard.misses;
+      if (client_id != 0) {
+        ++shard.client_stats[client_id].lookups;
+      }
     }
     return std::make_shared<const ProgramArtifact>(state, key.substr(sig_offset));
   }
@@ -55,10 +58,22 @@ ProgramArtifactPtr ProgramCache::GetOrBuild(const State& state) {
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       ++shard.hits;
+      if (client_id != 0) {
+        ProgramCacheClientStats& cs = shard.client_stats[client_id];
+        ++cs.lookups;
+        ++cs.hits;
+        if (it->second.builder_client != 0 && it->second.builder_client != client_id) {
+          ++cs.cross_client_hits;
+          ++shard.cross_client_hits;
+        }
+      }
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
       return it->second.artifact;
     }
     ++shard.misses;
+    if (client_id != 0) {
+      ++shard.client_stats[client_id].lookups;
+    }
   }
   // Build outside the lock: lowering + feature extraction dominate, and two
   // threads racing on the same key build identical artifacts anyway.
@@ -73,7 +88,7 @@ ProgramArtifactPtr ProgramCache::GetOrBuild(const State& state) {
     return it->second.artifact;
   }
   shard.lru.push_front(key);
-  shard.map.emplace(key, Entry{artifact, shard.lru.begin()});
+  shard.map.emplace(key, Entry{artifact, shard.lru.begin(), client_id});
   while (shard.map.size() > per_shard_capacity_) {
     shard.map.erase(shard.lru.back());
     shard.lru.pop_back();
@@ -98,6 +113,21 @@ ProgramCacheStats ProgramCache::stats() const {
     out.hits += shard.hits;
     out.misses += shard.misses;
     out.evictions += shard.evictions;
+    out.cross_client_hits += shard.cross_client_hits;
+  }
+  return out;
+}
+
+ProgramCacheClientStats ProgramCache::ClientStats(uint64_t client_id) const {
+  ProgramCacheClientStats out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.client_stats.find(client_id);
+    if (it != shard.client_stats.end()) {
+      out.lookups += it->second.lookups;
+      out.hits += it->second.hits;
+      out.cross_client_hits += it->second.cross_client_hits;
+    }
   }
   return out;
 }

@@ -33,11 +33,30 @@ struct ProgramCacheStats {
   int64_t hits = 0;
   int64_t misses = 0;
   int64_t evictions = 0;
+  // Hits served to a client other than the one that built the entry (only
+  // counted between nonzero client ids). On a cache shared across tasks this
+  // is the cross-task reuse the sharing exists for: a program one task
+  // compiled that another task consumed for free.
+  int64_t cross_client_hits = 0;
 
   int64_t lookups() const { return hits + misses; }
   double HitRate() const {
     int64_t total = lookups();
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+// Per-client counters (see ProgramCache::ClientStats): exact even when the
+// cache is shared by concurrently running tasks or jobs, so a tuning job can
+// report its own cross-task hit rate without seeing its neighbors' traffic.
+struct ProgramCacheClientStats {
+  int64_t lookups = 0;
+  int64_t hits = 0;
+  int64_t cross_client_hits = 0;
+
+  double CrossClientHitRate() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(cross_client_hits) / static_cast<double>(lookups);
   }
 };
 
@@ -62,17 +81,29 @@ class ProgramCache {
   // still yield a (not-ok) artifact. Safe to call from worker threads; a
   // racing build of the same key keeps the first inserted artifact so
   // stage-score memos stay shared.
-  ProgramArtifactPtr GetOrBuild(const State& state);
+  //
+  // `client_id` identifies the consumer for the cross-task accounting only
+  // (artifacts are identical regardless): 0 is anonymous, a nonzero id is
+  // remembered on the entry it inserts, and a nonzero-id hit on an entry
+  // built by a different nonzero id counts as a cross-client hit. The
+  // TuningService assigns each (job, task) pair a distinct id so same-tag
+  // tasks sharing one cache can report how much they reused of each other.
+  ProgramArtifactPtr GetOrBuild(const State& state, uint64_t client_id = 0);
 
   size_t capacity() const { return capacity_; }
   // Current entry count across all shards.
   size_t size() const;
   ProgramCacheStats stats() const;
+  // Exact counters for one nonzero client id (zero-initialized if the client
+  // never looked anything up).
+  ProgramCacheClientStats ClientStats(uint64_t client_id) const;
 
  private:
   struct Entry {
     ProgramArtifactPtr artifact;
     std::list<std::string>::iterator lru_it;
+    // Nonzero client that inserted the entry (0 = anonymous builder).
+    uint64_t builder_client = 0;
   };
   struct Shard {
     mutable std::mutex mu;
@@ -81,6 +112,8 @@ class ProgramCache {
     int64_t hits = 0;
     int64_t misses = 0;
     int64_t evictions = 0;
+    int64_t cross_client_hits = 0;
+    std::unordered_map<uint64_t, ProgramCacheClientStats> client_stats;
   };
 
   Shard& ShardFor(const std::string& key);

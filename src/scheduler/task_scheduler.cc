@@ -42,10 +42,14 @@ TaskScheduler::TaskScheduler(std::vector<SearchTask> tasks, std::vector<NetworkS
       networks_(std::move(networks)),
       objective_(std::move(objective)),
       options_(std::move(options)),
-      rng_(options.seed) {
+      rng_(options_.seed) {
   CHECK(!tasks_.empty());
-  for (const SearchTask& task : tasks_) {
-    tuners_.push_back(std::make_unique<TaskTuner>(task, measurer, model, options_.search));
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    SearchOptions search = options_.search;
+    if (options_.per_task_search) {
+      options_.per_task_search(i, tasks_[i], &search);
+    }
+    tuners_.push_back(std::make_unique<TaskTuner>(tasks_[i], measurer, model, search));
   }
   allocations_.assign(tasks_.size(), 0);
   latency_history_.assign(tasks_.size(), {});
@@ -194,52 +198,63 @@ double TaskScheduler::Gradient(int task_index, const std::vector<double>& latenc
   return ObjectiveGradientWrtTask(task_index, latencies) * dg_dt;
 }
 
-void TaskScheduler::Tune(int total_rounds) {
-  int64_t trials = 0;
-  int rounds_done = 0;
-
-  auto run_round = [&](size_t i) {
-    double before = tuners_[i]->best_seconds();
-    double after = tuners_[i]->TuneRound(options_.measures_per_round);
-    allocations_[i] += 1;
-    latency_history_[i].push_back(std::isfinite(after) ? after : 1.0);
-    if (std::isfinite(before) && after >= before * (1.0 - 1e-9)) {
-      rounds_without_improvement_[i] += 1;
-    } else {
-      rounds_without_improvement_[i] = 0;
+int TaskScheduler::NextTask() {
+  // Warm-up: one round-robin pass (t = (1, 1, ..., 1)). No RNG is consumed
+  // until every task has been visited once — see the draw-order contract in
+  // the header.
+  for (size_t i = 0; i < tuners_.size(); ++i) {
+    if (allocations_[i] == 0) {
+      return static_cast<int>(i);
     }
-    trials = 0;
-    for (const auto& t : tuners_) {
-      trials += t->total_measures();
-    }
-    history_.emplace_back(trials, ObjectiveValue());
-    ++rounds_done;
-  };
-
-  // Warm-up: one round-robin pass (t = (1, 1, ..., 1)).
-  for (size_t i = 0; i < tuners_.size() && rounds_done < total_rounds; ++i) {
-    run_round(i);
   }
-
-  while (rounds_done < total_rounds) {
-    size_t pick = 0;
-    if (rng_.Uniform() < options_.eps_greedy) {
-      pick = rng_.Index(tuners_.size());  // epsilon-greedy exploration
-    } else {
-      // One latency snapshot per pick: every task's gradient reads the same
-      // vector instead of recomputing CurrentLatencies() (formerly O(tasks²)
-      // per pick).
-      std::vector<double> latencies = CurrentLatencies();
-      double best_score = -std::numeric_limits<double>::infinity();
-      for (size_t i = 0; i < tuners_.size(); ++i) {
-        double score = std::fabs(Gradient(static_cast<int>(i), latencies));
-        if (score > best_score) {
-          best_score = score;
-          pick = i;
-        }
-      }
+  // Post-warm-up: exactly one Uniform() draw, then one Index() draw iff
+  // exploring.
+  if (rng_.Uniform() < options_.eps_greedy) {
+    return static_cast<int>(rng_.Index(tuners_.size()));  // eps-greedy exploration
+  }
+  // One latency snapshot per pick: every task's gradient reads the same
+  // vector instead of recomputing CurrentLatencies() (formerly O(tasks²)
+  // per pick). The argmax consumes no RNG.
+  std::vector<double> latencies = CurrentLatencies();
+  size_t pick = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < tuners_.size(); ++i) {
+    double score = std::fabs(Gradient(static_cast<int>(i), latencies));
+    if (score > best_score) {
+      best_score = score;
+      pick = i;
     }
-    run_round(pick);
+  }
+  return static_cast<int>(pick);
+}
+
+void TaskScheduler::RecordRound(int task_index, double before_seconds,
+                                double after_seconds) {
+  size_t i = static_cast<size_t>(task_index);
+  allocations_[i] += 1;
+  allocation_trace_.push_back(task_index);
+  latency_history_[i].push_back(std::isfinite(after_seconds) ? after_seconds : 1.0);
+  if (std::isfinite(before_seconds) && after_seconds >= before_seconds * (1.0 - 1e-9)) {
+    rounds_without_improvement_[i] += 1;
+  } else {
+    rounds_without_improvement_[i] = 0;
+  }
+  int64_t trials = 0;
+  for (const auto& t : tuners_) {
+    trials += t->total_measures();
+  }
+  history_.emplace_back(trials, ObjectiveValue());
+}
+
+void TaskScheduler::Tune(int total_rounds) {
+  // The legacy synchronous loop, now expressed through the step-wise
+  // interface the TuningService drives — one code path, so a 1-worker
+  // service run is bit-identical by construction.
+  for (int round = 0; round < total_rounds; ++round) {
+    int pick = NextTask();
+    double before = tuners_[static_cast<size_t>(pick)]->best_seconds();
+    double after = tuners_[static_cast<size_t>(pick)]->TuneRound(options_.measures_per_round);
+    RecordRound(pick, before, after);
   }
 }
 

@@ -57,8 +57,32 @@ struct TaskSchedulerOptions {
   int measures_per_round = 16;
   uint64_t seed = 1;
   SearchOptions search;
+  // Optional per-task customization of the search options each TaskTuner is
+  // constructed with (invoked once per task, on a copy of `search`). The
+  // TuningService uses this seam to hand same-similarity-tag tasks a shared
+  // ProgramCache and a distinct cache_client_id; the legacy path leaves it
+  // unset. Must not change anything that affects search results across
+  // runs being compared (cache injection and client ids are safe: results
+  // are cache-invariant by construction).
+  std::function<void(size_t task_index, const SearchTask& task, SearchOptions* search)>
+      per_task_search;
 };
 
+// The gradient allocation policy. Historically this class WAS the tuning
+// loop (Tune() below still is, for the legacy synchronous path); the
+// step-wise NextTask()/RecordRound() interface lets an external driver — the
+// TuningService — own the loop instead, overlapping one round's measurement
+// with other work while this class only decides who runs next.
+//
+// RNG draw-order contract (pinned; enforced by the SchedulerGradient golden-
+// trace test): the warm-up pass consumes NO random draws — while any task
+// has zero allocations, NextTask() deterministically returns the lowest-
+// index unvisited task. Every post-warm-up NextTask() consumes exactly one
+// Uniform() draw (the eps-greedy coin), then exactly one Index(num_tasks)
+// draw iff the coin landed below eps_greedy (exploration); the gradient
+// argmax consumes none. Any refactor that reorders or adds draws silently
+// changes every fixed-seed allocation trace — change the golden test
+// deliberately or not at all.
 class TaskScheduler {
  public:
   TaskScheduler(std::vector<SearchTask> tasks, std::vector<NetworkSpec> networks,
@@ -67,8 +91,20 @@ class TaskScheduler {
 
   // Runs until `total_rounds` allocation units are spent (one unit = one
   // tuning round of measures_per_round trials). Starts with one round-robin
-  // warm-up pass.
+  // warm-up pass. Equivalent to driving NextTask / TaskTuner::TuneRound /
+  // RecordRound in a loop (which is exactly what it does).
   void Tune(int total_rounds);
+
+  // Step-wise interface (the service loop's view) -----------------------------
+  // Picks the task receiving the next tuning round: the lowest-index
+  // unvisited task during warm-up, then eps-greedy exploration vs the §6.2
+  // gradient argmax. Consumes RNG per the contract above.
+  int NextTask();
+  // Records a completed round on `task_index`: allocation count, latency
+  // history, stagnation tracking (f4), the (trials, objective) curve, and
+  // the allocation trace. `before_seconds`/`after_seconds` are the task's
+  // best latency before and after the round.
+  void RecordRound(int task_index, double before_seconds, double after_seconds);
 
   // Latency (seconds) of DNN j under the current best programs.
   double NetworkLatency(int network_index) const;
@@ -77,6 +113,9 @@ class TaskScheduler {
 
   const std::vector<std::unique_ptr<TaskTuner>>& tuners() const { return tuners_; }
   const std::vector<int>& allocations() const { return allocations_; }
+  // Task index of every allocated round, in order (the fixed-seed allocation
+  // trace the determinism matrix and golden-trace tests compare).
+  const std::vector<int>& allocation_trace() const { return allocation_trace_; }
   // Sum of the per-task compiled-program cache counters (each tuner owns a
   // task-lifetime ProgramCache; see SearchOptions::program_cache).
   ProgramCacheStats AggregateProgramCacheStats() const;
@@ -102,6 +141,7 @@ class TaskScheduler {
   Rng rng_;
   std::vector<std::unique_ptr<TaskTuner>> tuners_;
   std::vector<int> allocations_;
+  std::vector<int> allocation_trace_;
   // Latency history per task, indexed by allocation count.
   std::vector<std::vector<double>> latency_history_;
   std::vector<int> rounds_without_improvement_;

@@ -44,19 +44,18 @@ std::vector<State> TaskTuner::SampleRandomPrograms(int count) {
   return result;
 }
 
-double TaskTuner::TuneRound(int num_measures) {
+PlannedRound TaskTuner::PlanRound(int num_measures) {
+  PlannedRound round;
   if (sketches_.empty() || num_measures <= 0) {
-    return best_seconds_;
+    return round;
   }
   const int verify_level = EffectiveVerifyLevel(options_.verify_level);
 
-  // 1. Candidate generation. Signatures are kept alongside the candidates so
-  // the measurement bookkeeping below never rebuilds them.
-  std::vector<State> to_measure;
-  std::vector<std::string> to_measure_sigs;
+  // Candidate generation. Signatures are kept alongside the candidates so
+  // the commit bookkeeping never rebuilds them.
   std::unordered_set<std::string> picked;
   auto add_candidate = [&](const State& s) {
-    if (static_cast<int>(to_measure.size()) >= num_measures) {
+    if (static_cast<int>(round.to_measure.size()) >= num_measures) {
       return;
     }
     std::string sig = StepSignature(s);
@@ -77,14 +76,14 @@ double TaskTuner::TuneRound(int num_measures) {
       // violation, resource limits) must not burn a trial. The report rides
       // on the cached artifact, so candidates the evolution already compiled
       // are filtered for free.
-      ProgramArtifactPtr artifact = cache_->GetOrBuild(s);
+      ProgramArtifactPtr artifact = cache_->GetOrBuild(s, options_.cache_client_id);
       if (!artifact->statically_legal(&measurer_->machine())) {
         ++statically_rejected_;
         return;
       }
     }
-    to_measure.push_back(s);
-    to_measure_sigs.push_back(std::move(sig));
+    round.to_measure.push_back(s);
+    round.signatures.push_back(std::move(sig));
   };
 
   if (options_.enable_fine_tuning) {
@@ -100,6 +99,7 @@ double TaskTuner::TuneRound(int num_measures) {
     evo.sampler = options_.sampler;
     evo.thread_pool = options_.thread_pool;
     evo.program_cache = cache_;
+    evo.cache_client_id = options_.cache_client_id;
     evo.verify_level = options_.verify_level;
     EvolutionarySearch evolution(task_.dag.get(), model_, rng_.Fork(), evo);
     int n_evolved = std::max(1, num_measures - static_cast<int>(options_.eps_random *
@@ -114,32 +114,63 @@ double TaskTuner::TuneRound(int num_measures) {
   for (const State& s : SampleRandomPrograms(num_measures)) {
     add_candidate(s);
   }
+  return round;
+}
 
-  if (to_measure.empty()) {
+PendingMeasureBatch TaskTuner::SubmitPlannedRound(const PlannedRound& round,
+                                                  ThreadPool* pool) {
+  return measurer_->SubmitBatch(round.to_measure, cache_, options_.cache_client_id,
+                                pool != nullptr ? pool : options_.thread_pool);
+}
+
+void TaskTuner::ExtractFeatures(PlannedRound* round) {
+  if (!round->features.empty()) {
+    return;  // already extracted
+  }
+  // Training features are copied out of the cached artifacts (the
+  // per-candidate copy is mutated at commit when a transient failure must
+  // not train a zero-throughput sample). Artifacts were compiled during
+  // planning, so this is cheap and safe to overlap with the in-flight batch.
+  round->features.resize(round->to_measure.size());
+  ThreadPool::OrGlobal(options_.thread_pool)
+      .ParallelFor(round->to_measure.size(), [&](size_t i) {
+        round->features[i] =
+            cache_->GetOrBuild(round->to_measure[i], options_.cache_client_id)->features();
+      });
+}
+
+double TaskTuner::CommitRound(PlannedRound round, const std::vector<MeasureResult>& results) {
+  if (round.to_measure.empty()) {
     return best_seconds_;
   }
+  CHECK_EQ(results.size(), round.to_measure.size());
+  // Budget accounting: only trials that actually started count (a cancelled
+  // item never reached the device — see MeasureResult::cancelled — so the
+  // tuner's spent budget stays equal to the measurer's trial counter).
+  int64_t started = 0;
+  for (const MeasureResult& r : results) {
+    if (!r.cancelled) {
+      ++started;
+    }
+  }
+  total_measures_ += started;
 
-  // 2. Measurement on the (simulated) hardware, served from the task cache:
-  // candidates the evolution already lowered are not compiled again. Only
-  // programs that measured valid are recorded in measured_signatures_: a
-  // transient invalid result must not permanently blacklist the program.
-  // Invalid results are tallied per signature and blacklist only after
-  // max_invalid_measures attempts.
-  std::vector<MeasureResult> results = measurer_->MeasureBatch(to_measure, cache_);
-  total_measures_ += static_cast<int64_t>(to_measure.size());
-
-  // 3. Update best + training data. Training features are copied out of the
-  // cached artifacts (the per-candidate copy is mutated below when a
-  // transient failure must not train a zero-throughput sample).
-  std::vector<std::vector<std::vector<float>>> features(to_measure.size());
-  ThreadPool::OrGlobal(options_.thread_pool).ParallelFor(to_measure.size(), [&](size_t i) {
-    features[i] = cache_->GetOrBuild(to_measure[i])->features();
-  });
-  std::vector<double> throughputs(to_measure.size(), 0.0);
-  for (size_t i = 0; i < to_measure.size(); ++i) {
+  // Update best + training data. Only programs that measured valid are
+  // recorded in measured_signatures_: a transient invalid result must not
+  // permanently blacklist the program. Invalid results are tallied per
+  // signature and blacklist only after max_invalid_measures attempts.
+  ExtractFeatures(&round);
+  std::vector<std::vector<std::vector<float>>>& features = round.features;
+  std::vector<double> throughputs(round.to_measure.size(), 0.0);
+  for (size_t i = 0; i < round.to_measure.size(); ++i) {
+    if (results[i].cancelled) {
+      // Never started: not a failure, not a training sample, retryable later.
+      features[i].clear();
+      continue;
+    }
     if (!results[i].valid) {
       ++invalid_measures_;
-      int failures = ++invalid_signature_counts_[to_measure_sigs[i]];
+      int failures = ++invalid_signature_counts_[round.signatures[i]];
       // A possibly-transient failure must not teach the model the program has
       // zero throughput. Once the failure count reaches the blacklist
       // threshold the program is confirmed deterministically bad: train the
@@ -149,21 +180,21 @@ double TaskTuner::TuneRound(int num_measures) {
       }
       continue;
     }
-    invalid_signature_counts_.erase(to_measure_sigs[i]);  // a transient failure recovered
-    measured_signatures_.insert(std::move(to_measure_sigs[i]));
+    invalid_signature_counts_.erase(round.signatures[i]);  // a transient failure recovered
+    measured_signatures_.insert(std::move(round.signatures[i]));
     throughputs[i] = results[i].throughput;
     if (results[i].seconds < best_seconds_) {
       best_seconds_ = results[i].seconds;
       best_throughput_ = results[i].throughput;
-      best_state_ = to_measure[i];
+      best_state_ = round.to_measure[i];
       best_state_->RetainDag(task_.dag);
     }
-    measured_best_.emplace_back(results[i].seconds, to_measure[i]);
+    measured_best_.emplace_back(results[i].seconds, round.to_measure[i]);
     if (options_.record_log != nullptr) {
       TuningRecord record;
       record.task_id = task_.task_id();
       record.seconds = results[i].seconds;
-      record.steps = to_measure[i].steps();
+      record.steps = round.to_measure[i].steps();
       options_.record_log->Add(std::move(record));
     }
   }
@@ -178,6 +209,16 @@ double TaskTuner::TuneRound(int num_measures) {
   }
   history_.emplace_back(total_measures_, best_seconds_);
   return best_seconds_;
+}
+
+double TaskTuner::TuneRound(int num_measures) {
+  PlannedRound round = PlanRound(num_measures);
+  if (round.to_measure.empty()) {
+    return best_seconds_;
+  }
+  std::vector<MeasureResult> results =
+      measurer_->MeasureBatch(round.to_measure, cache_, options_.cache_client_id);
+  return CommitRound(std::move(round), results);
 }
 
 TuneResult TuneTask(const SearchTask& task, Measurer* measurer, CostModel* model,

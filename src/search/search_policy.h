@@ -82,6 +82,13 @@ struct SearchOptions {
   // Capacity of the tuner-owned cache when program_cache is null. 0 disables
   // caching entirely (every consumer compiles from scratch, as before PR 3).
   size_t program_cache_capacity = ProgramCache::kDefaultCapacity;
+  // Consumer id tagged onto every program-cache lookup this tuner makes
+  // (evolution scoring, pre-measurement filter, measurement, training
+  // features) so a cache shared across tasks can attribute cross-task reuse
+  // exactly (ProgramCache::ClientStats). 0 = anonymous. The TuningService
+  // assigns each (job, task) a distinct id. Counters only; search results
+  // are identical for any id.
+  uint64_t cache_client_id = 0;
   // A program whose measurement comes back invalid is retried in later rounds
   // at most this many times in total before being blacklisted like a measured
   // program: transient hardware failures recover, deterministic failures stop
@@ -98,6 +105,23 @@ struct SearchOptions {
   int verify_level = 1;
 };
 
+// One planned-but-not-yet-committed tuning round: the candidates PlanRound
+// selected for measurement, their precomputed signatures, and (optionally)
+// their training features. The step-wise resumable-round interface exists so
+// the TuningService can overlap phases: plan, submit the batch, extract
+// features while the batch is in flight, then commit the results. TuneRound
+// composes the same steps back-to-back, so Plan + Measure + Commit is
+// bit-identical to the legacy synchronous round.
+struct PlannedRound {
+  std::vector<State> to_measure;
+  std::vector<std::string> signatures;  // StepSignature per candidate
+  // Per-candidate training-feature matrices, copied out of the cached
+  // artifacts. Filled by ExtractFeatures (overlappable with measurement);
+  // CommitRound extracts them itself when left empty. Pure function of
+  // to_measure, so when it runs does not affect results.
+  std::vector<std::vector<std::vector<float>>> features;
+};
+
 // Per-task tuner holding search state across rounds so the task scheduler can
 // interleave tasks (paper §6: one round == "one unit of time resources").
 class TaskTuner {
@@ -107,8 +131,29 @@ class TaskTuner {
 
   // Runs one tuning round with a budget of `num_measures` measurement trials.
   // Returns the best latency (seconds) found so far; infinity until a valid
-  // program is measured.
+  // program is measured. Equivalent to PlanRound + SubmitPlannedRound/Wait +
+  // CommitRound (the step-wise path the TuningService drives).
   double TuneRound(int num_measures);
+
+  // Step-wise (resumable) round interface ------------------------------------
+  // Selects up to `num_measures` candidates (evolution + epsilon-random
+  // exploration, deduplicated against already-measured programs, statically
+  // filtered). Consumes the tuner RNG exactly as the same phase of TuneRound.
+  PlannedRound PlanRound(int num_measures);
+  // Enqueues the round's candidates for asynchronous measurement on `pool`
+  // through the task's program cache. Empty rounds return a completed handle.
+  PendingMeasureBatch SubmitPlannedRound(const PlannedRound& round,
+                                         ThreadPool* pool = nullptr);
+  // Copies the candidates' training features out of the cached artifacts
+  // (idempotent; safe to run while the round's batch measures concurrently —
+  // artifacts are immutable and the cache is thread-safe).
+  void ExtractFeatures(PlannedRound* round);
+  // Applies the measurement results: best-program tracking, blacklist
+  // bookkeeping, cost-model training, history. `results` must be
+  // index-aligned with round.to_measure. Cancelled results (deadline) are
+  // skipped entirely: no budget spent, no blacklist entry, no training
+  // sample. Returns the best latency so far.
+  double CommitRound(PlannedRound round, const std::vector<MeasureResult>& results);
 
   const SearchTask& task() const { return task_; }
   double best_seconds() const { return best_seconds_; }

@@ -1,0 +1,300 @@
+#include "src/service/tuning_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace ansor {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double SecondsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+const char* JobStatusName(JobStatus s) {
+  switch (s) {
+    case JobStatus::kQueued: return "queued";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kCompleted: return "completed";
+    case JobStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case JobStatus::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+// Internal per-job state, jointly owned by the service and every JobHandle.
+struct JobState {
+  int64_t id = 0;
+  JobSpec spec;
+  Clock::time_point submit_time;
+  std::atomic<bool> cancel{false};
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  JobStatus status = JobStatus::kQueued;  // guarded by mu
+  JobReport report;                       // guarded by mu; final once terminal
+
+  void SetStatus(JobStatus s) {
+    std::lock_guard<std::mutex> lock(mu);
+    status = s;
+  }
+  void Finish(JobReport final_report) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      report = std::move(final_report);
+      status = report.status;
+    }
+    cv.notify_all();
+  }
+};
+
+int64_t JobHandle::id() const {
+  CHECK(state_ != nullptr);
+  return state_->id;
+}
+
+const std::string& JobHandle::name() const {
+  CHECK(state_ != nullptr);
+  return state_->spec.name;
+}
+
+JobStatus JobHandle::status() const {
+  CHECK(state_ != nullptr);
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->status;
+}
+
+bool JobHandle::Wait(double timeout_seconds) const {
+  CHECK(state_ != nullptr);
+  std::unique_lock<std::mutex> lock(state_->mu);
+  auto terminal = [&] { return IsTerminal(state_->status); };
+  if (std::isfinite(timeout_seconds)) {
+    return state_->cv.wait_for(lock, std::chrono::duration<double>(
+                                         std::max(0.0, timeout_seconds)),
+                               terminal);
+  }
+  state_->cv.wait(lock, terminal);
+  return true;
+}
+
+void JobHandle::Cancel() {
+  CHECK(state_ != nullptr);
+  state_->cancel.store(true, std::memory_order_release);
+}
+
+const JobReport& JobHandle::report() const {
+  CHECK(state_ != nullptr);
+  std::lock_guard<std::mutex> lock(state_->mu);
+  CHECK(IsTerminal(state_->status)) << "JobHandle::report() before the job finished";
+  return state_->report;
+}
+
+TuningService::TuningService(TuningServiceOptions options)
+    : options_(options),
+      workers_(static_cast<size_t>(std::max(0, options.num_workers))) {
+  int drivers = std::max(1, options_.max_concurrent_jobs);
+  drivers_.reserve(static_cast<size_t>(drivers));
+  for (int i = 0; i < drivers; ++i) {
+    drivers_.emplace_back([this] { DriverLoop(); });
+  }
+}
+
+TuningService::~TuningService() { Shutdown(); }
+
+ProgramCache* TuningService::SharedCacheForTag(const std::string& tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<ProgramCache>& cache = tag_caches_[tag];
+  if (cache == nullptr) {
+    cache = std::make_unique<ProgramCache>(options_.shared_cache_capacity);
+  }
+  return cache.get();
+}
+
+JobHandle TuningService::Submit(JobSpec spec) {
+  CHECK(!spec.tasks.empty()) << "JobSpec needs at least one task";
+  CHECK(spec.measurer != nullptr) << "JobSpec needs a measurer";
+  CHECK(spec.model != nullptr) << "JobSpec needs a cost model";
+  auto job = std::make_shared<JobState>();
+  job->id = next_job_id_.fetch_add(1);
+  job->spec = std::move(spec);
+  job->submit_time = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CHECK(!shutdown_) << "Submit after Shutdown";
+    queue_.push_back(job);
+    jobs_.push_back(job);
+  }
+  cv_.notify_one();
+  JobHandle handle;
+  handle.state_ = std::move(job);
+  return handle;
+}
+
+void TuningService::DriverLoop() {
+  for (;;) {
+    std::shared_ptr<JobState> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutdown with a drained queue
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    RunJob(job.get());
+  }
+}
+
+void TuningService::RunJob(JobState* job) {
+  const Clock::time_point start = Clock::now();
+  job->SetStatus(JobStatus::kRunning);
+  const JobSpec& spec = job->spec;
+
+  // Wire the per-task search options: the shared worker pool, a distinct
+  // cache client id per (job, task), and — for nonempty similarity tags —
+  // the service-owned shared cache for that tag. A caller-provided
+  // per_task_search hook runs first so it can still veto the cache by
+  // injecting its own.
+  const size_t n_tasks = spec.tasks.size();
+  std::vector<uint64_t> client_ids(n_tasks);
+  std::vector<ProgramCache*> tag_caches(n_tasks, nullptr);
+  for (size_t i = 0; i < n_tasks; ++i) {
+    client_ids[i] = next_client_id_.fetch_add(1);
+    if (options_.share_caches_by_tag && !spec.tasks[i].tag.empty()) {
+      tag_caches[i] = SharedCacheForTag(spec.tasks[i].tag);
+    }
+  }
+  TaskSchedulerOptions opts = spec.options;
+  auto caller_hook = opts.per_task_search;
+  opts.per_task_search = [&, caller_hook](size_t i, const SearchTask& task,
+                                          SearchOptions* search) {
+    if (caller_hook) {
+      caller_hook(i, task, search);
+    }
+    search->thread_pool = &workers_;
+    search->cache_client_id = client_ids[i];
+    if (search->program_cache == nullptr && tag_caches[i] != nullptr) {
+      search->program_cache = tag_caches[i];
+    }
+  };
+
+  TaskScheduler scheduler(spec.tasks, spec.networks, spec.objective, spec.measurer,
+                          spec.model, opts);
+
+  const bool has_deadline = std::isfinite(spec.deadline_seconds);
+  const Clock::time_point deadline =
+      has_deadline ? start + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(spec.deadline_seconds))
+                   : Clock::time_point::max();
+  bool deadline_hit = false;
+  int rounds = 0;
+  while (rounds < spec.total_rounds && !job->cancel.load(std::memory_order_acquire)) {
+    if (has_deadline && Clock::now() >= deadline) {
+      deadline_hit = true;
+      break;
+    }
+    int pick = scheduler.NextTask();
+    TaskTuner* tuner = scheduler.tuners()[static_cast<size_t>(pick)].get();
+    double before = tuner->best_seconds();
+    // The overlapped round: submit the batch, then extract this round's
+    // training features while it measures. Other jobs' drivers overlap their
+    // search with this batch on the same pool.
+    PlannedRound round = tuner->PlanRound(spec.options.measures_per_round);
+    PendingMeasureBatch batch = tuner->SubmitPlannedRound(round, &workers_);
+    tuner->ExtractFeatures(&round);
+    if (has_deadline) {
+      double remaining = SecondsBetween(Clock::now(), deadline);
+      if (!batch.WaitFor(remaining)) {
+        // Deadline passed mid-batch: unstarted trials come back cancelled
+        // (not charged to any budget); in-flight ones finish, so Wait()
+        // below cannot hang.
+        batch.Cancel();
+        deadline_hit = true;
+      }
+    }
+    double after = tuner->CommitRound(std::move(round), batch.Wait());
+    scheduler.RecordRound(pick, before, after);
+    ++rounds;
+    if (deadline_hit) {
+      break;
+    }
+  }
+
+  const Clock::time_point end = Clock::now();
+  JobReport report;
+  // A job that spent its whole budget is completed even if a cancel or the
+  // deadline raced with the final round.
+  report.status = rounds >= spec.total_rounds ? JobStatus::kCompleted
+                  : deadline_hit              ? JobStatus::kDeadlineExceeded
+                                              : JobStatus::kCancelled;
+  report.rounds_completed = rounds;
+  report.objective_value = scheduler.ObjectiveValue();
+  report.allocations = scheduler.allocations();
+  report.allocation_trace = scheduler.allocation_trace();
+  for (size_t i = 0; i < n_tasks; ++i) {
+    const TaskTuner& tuner = *scheduler.tuners()[i];
+    report.trials += tuner.total_measures();
+    report.best_seconds.push_back(tuner.best_seconds());
+    ProgramCacheClientStats cs = tuner.program_cache().ClientStats(client_ids[i]);
+    report.cache.lookups += cs.lookups;
+    report.cache.hits += cs.hits;
+    report.cache.cross_client_hits += cs.cross_client_hits;
+  }
+  report.queue_seconds = SecondsBetween(job->submit_time, start);
+  report.run_seconds = SecondsBetween(start, end);
+  report.turnaround_seconds = SecondsBetween(job->submit_time, end);
+  job->Finish(std::move(report));
+}
+
+void TuningService::WaitAll() {
+  std::vector<std::shared_ptr<JobState>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = jobs_;
+  }
+  for (const auto& job : snapshot) {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->cv.wait(lock, [&] { return IsTerminal(job->status); });
+  }
+}
+
+void TuningService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ && drivers_.empty()) {
+      return;
+    }
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& driver : drivers_) {
+    driver.join();
+  }
+  drivers_.clear();
+}
+
+ProgramCacheStats TuningService::SharedCacheStats() const {
+  ProgramCacheStats total;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [tag, cache] : tag_caches_) {
+    ProgramCacheStats s = cache->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.cross_client_hits += s.cross_client_hits;
+  }
+  return total;
+}
+
+size_t TuningService::shared_cache_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tag_caches_.size();
+}
+
+}  // namespace ansor

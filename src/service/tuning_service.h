@@ -1,0 +1,204 @@
+// Tuning-as-a-service: a long-lived, multi-tenant scheduling core.
+//
+// The legacy entry point (TaskScheduler::Tune) is a synchronous round loop
+// over one job: search and measurement strictly alternate and only one
+// Objective can exist at a time. The TuningService rebuilds that stack as a
+// service: callers Submit() any number of concurrent jobs — each with its
+// own tasks, Objective, trial budget, and deadline — and the service drives
+// them over one shared worker pool, with search (child generation +
+// cost-model scoring) and measurement overlapped as a producer/consumer
+// pipeline:
+//
+//   * across jobs: while one job's measurement batch occupies the pool (or
+//     sleeps out its emulated device latency), other jobs' drivers keep
+//     searching on the same workers (ParallelFor caller participation
+//     guarantees progress even on a saturated pool);
+//   * within a round: the round's training-feature extraction runs while its
+//     own batch is in flight (Measurer::SubmitBatch is the async seam; the
+//     features are a pure function of the candidates, not the results).
+//
+// Determinism contract (enforced by the TuningService matrix tests): a job's
+// results are a pure function of its spec. Fixed seeds give bit-identical
+// per-task best latencies and allocation traces for any worker count, any
+// max_concurrent_jobs, and any co-tenant jobs — and identical to the legacy
+// synchronous TaskScheduler::Tune (which Tune() itself now implements by
+// driving the same step-wise NextTask/PlanRound/CommitRound path). Shared
+// caches cannot break this: artifacts are pure functions of (DAG, steps).
+// Deadlines are the one wall-clock-dependent feature; a job that hits its
+// deadline has nondeterministic cutoff by nature, but never loses budget
+// accounting (cancelled trials are not spent) and never hangs.
+//
+// Cross-task cache sharing: tasks carrying the same nonempty similarity
+// `tag` — within one job and across jobs — share one service-owned
+// ProgramCache (safe: keys include the DAG hash), so a program one task
+// compiled is served to every structurally similar task for free. Each
+// (job, task) gets a distinct cache client id, so every job reports its own
+// exact cross-task hit rate even with concurrent tenants.
+#ifndef ANSOR_SRC_SERVICE_TUNING_SERVICE_H_
+#define ANSOR_SRC_SERVICE_TUNING_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/scheduler/task_scheduler.h"
+
+namespace ansor {
+
+// One tuning job: a set of tasks + networks with their own objective,
+// budget, and deadline. The measurer and cost model are borrowed, not owned
+// — they must outlive the job, and sharing a model or measurer between jobs
+// is the caller's choice (per-job instances keep jobs fully independent).
+struct JobSpec {
+  std::string name;
+  std::vector<SearchTask> tasks;
+  std::vector<NetworkSpec> networks;
+  Objective objective;
+  // Per-job allocation policy + search knobs (alpha/beta/eps/seed/search).
+  // The service overrides search.thread_pool (shared pool), assigns
+  // search.cache_client_id per task, and injects per-tag shared caches; all
+  // are result-invariant.
+  TaskSchedulerOptions options;
+  // Trial budget: allocation rounds of options.measures_per_round trials.
+  int total_rounds = 1;
+  // Wall-clock deadline measured from job *start* (not submit). When it
+  // passes, the in-flight measurement batch is cancelled (unstarted trials
+  // return cancelled and are not charged to any budget) and the job
+  // finishes with JobStatus::kDeadlineExceeded. Infinity = no deadline.
+  double deadline_seconds = std::numeric_limits<double>::infinity();
+  Measurer* measurer = nullptr;  // required; not owned
+  CostModel* model = nullptr;    // required; not owned
+};
+
+enum class JobStatus {
+  kQueued,            // submitted, waiting for a driver slot
+  kRunning,           // rounds in progress
+  kCompleted,         // spent its full round budget
+  kDeadlineExceeded,  // stopped at deadline_seconds
+  kCancelled,         // stopped by JobHandle::Cancel
+};
+
+inline bool IsTerminal(JobStatus s) {
+  return s == JobStatus::kCompleted || s == JobStatus::kDeadlineExceeded ||
+         s == JobStatus::kCancelled;
+}
+
+const char* JobStatusName(JobStatus s);
+
+// Final accounting for one job, valid once the job reaches a terminal
+// status.
+struct JobReport {
+  JobStatus status = JobStatus::kQueued;
+  int rounds_completed = 0;
+  // Measurement trials actually started (== the per-job Measurer's
+  // trial_count delta; cancelled trials are excluded on both sides).
+  int64_t trials = 0;
+  double objective_value = 0.0;
+  std::vector<double> best_seconds;  // per task
+  std::vector<int> allocations;      // per task
+  std::vector<int> allocation_trace; // task index per round, in order
+  // Fleet latency view: turnaround is what a tenant experiences.
+  double queue_seconds = 0.0;       // submit -> first round
+  double run_seconds = 0.0;         // first round -> terminal
+  double turnaround_seconds = 0.0;  // submit -> terminal
+  // Program-cache traffic attributed to this job's tasks (exact even when
+  // the caches are shared with concurrent jobs). cross_client_hits counts
+  // artifacts this job consumed that a *different* task compiled — the
+  // cross-task reuse the per-tag shared caches exist for.
+  ProgramCacheClientStats cache;
+
+  double CrossTaskHitRate() const { return cache.CrossClientHitRate(); }
+};
+
+class TuningService;
+struct JobState;
+
+// Shared-ownership handle to a submitted job. Copyable; outliving the
+// service is safe (the job state is jointly owned).
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  int64_t id() const;
+  const std::string& name() const;
+  JobStatus status() const;
+  // Blocks until the job reaches a terminal status (or the timeout elapses);
+  // true when terminal.
+  bool Wait(double timeout_seconds = std::numeric_limits<double>::infinity()) const;
+  // Requests cancellation: a queued job finishes before its first round, a
+  // running job after its in-flight round. Does not block.
+  void Cancel();
+  // The final report. CHECK-fails unless the job is terminal (Wait first).
+  const JobReport& report() const;
+
+ private:
+  friend class TuningService;
+  std::shared_ptr<JobState> state_;
+};
+
+struct TuningServiceOptions {
+  // Shared worker pool backing every job's search and measurement.
+  // 0 = hardware concurrency. Results are invariant to this.
+  int num_workers = 0;
+  // Jobs driven concurrently; the rest queue FIFO. 1 reproduces the legacy
+  // one-job-at-a-time fleet behavior (and each job is bit-identical to
+  // TaskScheduler::Tune regardless). Results are invariant to this.
+  int max_concurrent_jobs = 1;
+  // Hand every task with the same nonempty similarity tag — within and
+  // across jobs — one shared service-owned ProgramCache. Tasks with an empty
+  // tag (or with a cache already injected via SearchOptions) keep their own.
+  bool share_caches_by_tag = true;
+  size_t shared_cache_capacity = ProgramCache::kDefaultCapacity;
+};
+
+class TuningService {
+ public:
+  explicit TuningService(TuningServiceOptions options = TuningServiceOptions());
+  ~TuningService();  // Shutdown()
+
+  TuningService(const TuningService&) = delete;
+  TuningService& operator=(const TuningService&) = delete;
+
+  // Enqueues a job; returns immediately. CHECK-fails on an empty task list,
+  // a missing measurer/model, or a service that is already shut down.
+  JobHandle Submit(JobSpec spec);
+  // Blocks until every job submitted so far is terminal.
+  void WaitAll();
+  // Drains the queue, waits for running jobs, joins the drivers. Submit
+  // afterwards is an error. Idempotent.
+  void Shutdown();
+
+  const TuningServiceOptions& options() const { return options_; }
+  // Aggregate counters over the per-tag shared caches (fleet-wide view; a
+  // job's own share is in its JobReport).
+  ProgramCacheStats SharedCacheStats() const;
+  size_t shared_cache_count() const;
+
+ private:
+  void DriverLoop();
+  void RunJob(JobState* job);
+  ProgramCache* SharedCacheForTag(const std::string& tag);
+
+  TuningServiceOptions options_;
+  ThreadPool workers_;
+  mutable std::mutex mu_;  // queue, job list, tag caches, shutdown flag
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<JobState>> queue_;
+  std::vector<std::shared_ptr<JobState>> jobs_;
+  std::unordered_map<std::string, std::unique_ptr<ProgramCache>> tag_caches_;
+  std::atomic<uint64_t> next_client_id_{1};
+  std::atomic<int64_t> next_job_id_{1};
+  bool shutdown_ = false;
+  std::vector<std::thread> drivers_;
+};
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_SERVICE_TUNING_SERVICE_H_

@@ -99,6 +99,14 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   d->cv.wait(done_lock, [&] { return d->done_chunks.load() == num_chunks; });
 }
 
+void ThreadPool::Enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
 ThreadPool& ThreadPool::Global() {
   static ThreadPool pool;
   return pool;

@@ -25,6 +25,12 @@ class ThreadPool {
   // Runs fn(i) for i in [0, n) across the pool and blocks until all complete.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  // Enqueues one task for asynchronous execution and returns immediately.
+  // The async seam for overlapped search/measurement (Measurer::SubmitBatch):
+  // the caller keeps computing while workers drain the queue. Tasks enqueued
+  // during shutdown still run before the destructor joins.
+  void Enqueue(std::function<void()> fn);
+
   // Process-wide shared pool sized to the hardware concurrency.
   static ThreadPool& Global();
 

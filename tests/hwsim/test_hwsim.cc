@@ -2,9 +2,13 @@
 // Ansor's search space exposes — otherwise the search results are meaningless.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "src/hwsim/measurer.h"
-#include "src/workloads/operators.h"
 #include "src/hwsim/simulator.h"
+#include "src/support/thread_pool.h"
+#include "src/workloads/operators.h"
 #include "tests/testing.h"
 
 namespace ansor {
@@ -226,6 +230,72 @@ TEST(Measurer, VerificationCatchesNothingOnValidPrograms) {
   ASSERT_TRUE(state.Split("C", 0, {4}));
   MeasureResult r = measurer.Measure(state);
   EXPECT_TRUE(r.valid) << r.error;
+}
+
+TEST(MeasurerVerifyCadence, ResetTrialCountResetsVerifyPhase) {
+  // Regression: ResetTrialCount() used to reset only the budget counter, so a
+  // second run sharing the Measurer continued the previous run's verify_every
+  // phase (here: verifying trials 4 of 3..5 — one check — instead of trials 0
+  // and 2 — two checks).
+  MeasureOptions options;
+  options.verify_every = 2;
+  Measurer measurer(MachineModel::IntelCpu20Core(), options);
+  ComputeDAG dag = testing::Matmul(8, 8, 8);
+  State state(&dag);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(measurer.Measure(state).valid);
+  }
+  EXPECT_EQ(measurer.verification_count(), 2);  // trials 0 and 2
+  measurer.ResetTrialCount();
+  EXPECT_EQ(measurer.trial_count(), 0);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(measurer.Measure(state).valid);
+  }
+  EXPECT_EQ(measurer.verification_count(), 4);  // cadence restarted at trial 0
+}
+
+TEST(Measurer, SubmitBatchMatchesMeasureBatch) {
+  ComputeDAG dag = testing::Matmul(32, 32, 32);
+  std::vector<State> states;
+  for (int i = 1; i <= 4; ++i) {
+    State s(&dag);
+    ASSERT_TRUE(s.Split("C", 0, {1 << i}));
+    states.push_back(std::move(s));
+  }
+  Measurer sync_measurer(MachineModel::IntelCpu20Core());
+  Measurer async_measurer(MachineModel::IntelCpu20Core());
+  std::vector<MeasureResult> sync_results = sync_measurer.MeasureBatch(states);
+  PendingMeasureBatch pending = async_measurer.SubmitBatch(states);
+  std::vector<MeasureResult> async_results = pending.Wait();
+  EXPECT_TRUE(pending.done());
+  ASSERT_EQ(async_results.size(), sync_results.size());
+  for (size_t i = 0; i < sync_results.size(); ++i) {
+    EXPECT_EQ(async_results[i].valid, sync_results[i].valid);
+    EXPECT_FALSE(async_results[i].cancelled);
+    EXPECT_DOUBLE_EQ(async_results[i].seconds, sync_results[i].seconds);
+  }
+  EXPECT_EQ(async_measurer.trial_count(), sync_measurer.trial_count());
+}
+
+TEST(Measurer, CancelledTrialsAreNotCharged) {
+  // Block the (single-worker) pool so no batch item can start, cancel, then
+  // drain: every item must come back cancelled without touching the trial
+  // counter — the "no lost budget accounting" half of deadline cancellation.
+  ThreadPool pool(1);
+  pool.Enqueue([] { std::this_thread::sleep_for(std::chrono::milliseconds(100)); });
+  Measurer measurer(MachineModel::IntelCpu20Core());
+  ComputeDAG dag = testing::Matmul(16, 16, 16);
+  std::vector<State> states(4, State(&dag));
+  PendingMeasureBatch pending =
+      measurer.SubmitBatch(states, /*cache=*/nullptr, /*cache_client_id=*/0, &pool);
+  pending.Cancel();
+  std::vector<MeasureResult> results = pending.Wait();
+  ASSERT_EQ(results.size(), 4u);
+  for (const MeasureResult& r : results) {
+    EXPECT_TRUE(r.cancelled);
+    EXPECT_FALSE(r.valid);
+  }
+  EXPECT_EQ(measurer.trial_count(), 0);
 }
 
 }  // namespace

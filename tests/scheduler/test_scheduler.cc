@@ -196,6 +196,96 @@ TEST(SchedulerGradient, BetaZeroDisablesSimilarityTerm) {
   EXPECT_EQ(scheduler.allocations()[0] + scheduler.allocations()[1], 5);
 }
 
+TEST(SchedulerGradient, GoldenRngDrawOrderTrace) {
+  // Executable spec of the pinned RNG draw-order contract (task_scheduler.h):
+  // warm-up consumes no draws and visits tasks in index order; every
+  // post-warm-up pick consumes exactly one Uniform() (the eps-greedy coin),
+  // then exactly one Index(num_tasks) iff the coin explores. With
+  // eps_greedy=1.0 every pick explores, so an independent Rng replaying that
+  // draw sequence must reproduce the scheduler's allocation trace exactly.
+  // If this test fails, a refactor reordered or added draws — which silently
+  // changes every fixed-seed tuning run.
+  Measurer measurer(MachineModel::IntelCpu20Core());
+  GbdtCostModel model;
+  std::vector<SearchTask> tasks = {MakeTask(testing::Matmul(16, 16, 16), "a"),
+                                   MakeTask(testing::Matmul(32, 16, 16), "b"),
+                                   MakeTask(testing::Matmul(16, 32, 16), "c")};
+  std::vector<NetworkSpec> nets = {{"net", {0, 1, 2}}};
+  TaskSchedulerOptions options = FastOptions();
+  options.eps_greedy = 1.0;
+  options.seed = 123;
+  TaskScheduler scheduler(tasks, nets, Objective::SumLatency(), &measurer, &model, options);
+  scheduler.Tune(9);
+
+  Rng replay(123);
+  std::vector<int> expected = {0, 1, 2};  // warm-up: lowest-index unvisited, no draws
+  for (int round = 3; round < 9; ++round) {
+    double coin = replay.Uniform();
+    ASSERT_LT(coin, 1.0);  // always below eps_greedy=1.0: always explore
+    expected.push_back(static_cast<int>(replay.Index(tasks.size())));
+  }
+  EXPECT_EQ(scheduler.allocation_trace(), expected);
+}
+
+TEST(SchedulerGradient, EpsZeroTraceInvariantToSchedulerSeed) {
+  // With eps_greedy=0 the per-pick Uniform() coin never explores and the
+  // gradient argmax consumes no RNG, so the allocation trace cannot depend on
+  // the scheduler seed at all.
+  auto run = [](uint64_t seed) {
+    Measurer measurer(MachineModel::IntelCpu20Core());
+    GbdtCostModel model;
+    std::vector<SearchTask> tasks = {MakeTask(testing::Matmul(32, 32, 32), "a"),
+                                     MakeTask(testing::Matmul(64, 64, 64), "b")};
+    std::vector<NetworkSpec> nets = {{"net", {0, 1}}};
+    TaskSchedulerOptions options = FastOptions();
+    options.eps_greedy = 0.0;
+    options.seed = seed;
+    TaskScheduler scheduler(tasks, nets, Objective::SumLatency(), &measurer, &model,
+                            options);
+    scheduler.Tune(6);
+    return scheduler.allocation_trace();
+  };
+  EXPECT_EQ(run(1), run(999));
+}
+
+TEST(Scheduler, StepwiseDriveMatchesTune) {
+  // Driving the resumable-round interface by hand — including the async
+  // submit / overlapped feature extraction the TuningService uses — must be
+  // bit-identical to the legacy synchronous Tune().
+  std::vector<SearchTask> tasks = {MakeTask(testing::Matmul(32, 32, 32), "a"),
+                                   MakeTask(testing::Matmul(64, 32, 32), "b")};
+  std::vector<NetworkSpec> nets = {{"net", {0, 1}}};
+  TaskSchedulerOptions options = FastOptions();
+
+  Measurer measurer_a(MachineModel::IntelCpu20Core());
+  GbdtCostModel model_a;
+  TaskScheduler legacy(tasks, nets, Objective::SumLatency(), &measurer_a, &model_a,
+                       options);
+  legacy.Tune(6);
+
+  Measurer measurer_b(MachineModel::IntelCpu20Core());
+  GbdtCostModel model_b;
+  TaskScheduler stepwise(tasks, nets, Objective::SumLatency(), &measurer_b, &model_b,
+                         options);
+  for (int round = 0; round < 6; ++round) {
+    int pick = stepwise.NextTask();
+    TaskTuner* tuner = stepwise.tuners()[static_cast<size_t>(pick)].get();
+    double before = tuner->best_seconds();
+    PlannedRound planned = tuner->PlanRound(options.measures_per_round);
+    PendingMeasureBatch batch = tuner->SubmitPlannedRound(planned);
+    tuner->ExtractFeatures(&planned);  // overlaps the in-flight batch
+    double after = tuner->CommitRound(std::move(planned), batch.Wait());
+    stepwise.RecordRound(pick, before, after);
+  }
+
+  EXPECT_EQ(legacy.allocation_trace(), stepwise.allocation_trace());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(legacy.tuners()[i]->best_seconds(),
+                     stepwise.tuners()[i]->best_seconds());
+  }
+  EXPECT_EQ(measurer_a.trial_count(), measurer_b.trial_count());
+}
+
 TEST(SchedulerGradient, HistoryIsMonotoneNonIncreasing) {
   Measurer measurer(MachineModel::IntelCpu20Core());
   GbdtCostModel model;
