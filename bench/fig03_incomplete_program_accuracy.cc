@@ -49,7 +49,7 @@ void Run() {
   GbdtCostModel model;
   {
     std::vector<State> train = sample_batch(n_train);
-    std::vector<std::vector<std::vector<float>>> features;
+    std::vector<FeatureMatrix> features;
     std::vector<double> throughputs;
     for (const State& s : train) {
       features.push_back(ExtractStateFeatures(s));
@@ -69,12 +69,12 @@ void Run() {
   std::printf("%-18s%14s%14s\n", "completion_rate", "pairwise_acc", "recall@k(30%)");
   int k = std::max(1, static_cast<int>(test.size() * 3 / 10));
   for (double rate : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
-    std::vector<std::vector<std::vector<float>>> partial_features;
+    std::vector<FeatureMatrix> partial_features;
     for (const State& s : test) {
       size_t keep = static_cast<size_t>(std::ceil(rate * static_cast<double>(s.steps().size())));
       std::vector<Step> prefix(s.steps().begin(), s.steps().begin() + std::min(keep, s.steps().size()));
       State partial = State::Replay(s.dag(), prefix);
-      partial_features.push_back(partial.failed() ? std::vector<std::vector<float>>{}
+      partial_features.push_back(partial.failed() ? FeatureMatrix()
                                                   : ExtractStateFeatures(partial));
     }
     std::vector<double> preds = model.Predict(partial_features);

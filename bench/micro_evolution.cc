@@ -26,7 +26,7 @@ int Run() {
   // real per-row work, as in a warmed-up search.
   Measurer measurer(MachineModel::IntelCpu20Core());
   GbdtCostModel model;
-  std::vector<std::vector<std::vector<float>>> features;
+  std::vector<FeatureMatrix> features;
   std::vector<double> throughputs;
   for (const State& s : init) {
     features.push_back(cache.GetOrBuild(s)->features());

@@ -68,7 +68,7 @@ int Run() {
   Measurer measurer(MachineModel::IntelCpu20Core());
   GbdtCostModel model;
   int64_t misses_before_chain = warm.stats().misses;
-  std::vector<std::vector<std::vector<float>>> features;
+  std::vector<FeatureMatrix> features;
   std::vector<double> throughputs;
   for (const State& s : population) {
     features.push_back(warm.GetOrBuild(s)->features());

@@ -100,7 +100,7 @@ void BM_GbdtTraining(benchmark::State& state) {
       for (auto& v : row) {
         v = static_cast<float>(rng.Uniform());
       }
-      data.rows.push_back(std::move(row));
+      data.rows.AppendRow(row);
       data.group.push_back(p);
     }
     data.labels.push_back(rng.Uniform());
@@ -122,7 +122,7 @@ void BM_GbdtPrediction(benchmark::State& state) {
     for (auto& v : row) {
       v = static_cast<float>(rng.Uniform());
     }
-    data.rows.push_back(std::move(row));
+    data.rows.AppendRow(row);
     data.group.push_back(p);
     data.labels.push_back(rng.Uniform());
     data.weights.push_back(1.0);

@@ -304,7 +304,7 @@ TuneResult BeamSearch(const SearchTask& task, Measurer* measurer, CostModel* mod
       }
       // Prune incomplete programs with the cost model (the paper's §2
       // failure mode: the model was trained on complete programs only).
-      std::vector<std::vector<std::vector<float>>> features(expanded.size());
+      std::vector<FeatureMatrix> features(expanded.size());
       for (size_t e = 0; e < expanded.size(); ++e) {
         features[e] = ExtractStateFeatures(expanded[e].first);
       }
@@ -343,7 +343,7 @@ TuneResult BeamSearch(const SearchTask& task, Measurer* measurer, CostModel* mod
     }
     auto results = measurer->MeasureBatch(to_measure);
     trials += static_cast<int64_t>(to_measure.size());
-    std::vector<std::vector<std::vector<float>>> features(to_measure.size());
+    std::vector<FeatureMatrix> features(to_measure.size());
     std::vector<double> throughputs(to_measure.size(), 0.0);
     for (size_t i = 0; i < to_measure.size(); ++i) {
       features[i] = ExtractStateFeatures(to_measure[i]);

@@ -15,30 +15,30 @@ CostModel::CostModel() {
 }
 
 std::vector<double> CostModel::PredictBatch(
-    const std::vector<const std::vector<std::vector<float>>*>& programs) {
-  std::vector<std::vector<std::vector<float>>> copy;
+    const std::vector<const FeatureMatrix*>& programs) {
+  std::vector<FeatureMatrix> copy;
   copy.reserve(programs.size());
-  for (const auto* rows : programs) {
-    copy.push_back(*rows);
+  for (const FeatureMatrix* m : programs) {
+    copy.push_back(*m);
   }
   return Predict(copy);
 }
 
 std::vector<std::vector<double>> CostModel::PredictStatementsBatch(
-    const std::vector<const std::vector<std::vector<float>>*>& programs) {
+    const std::vector<const FeatureMatrix*>& programs) {
   std::vector<std::vector<double>> scores;
   scores.reserve(programs.size());
-  for (const auto* rows : programs) {
-    scores.push_back(PredictStatements(*rows));
+  for (const FeatureMatrix* m : programs) {
+    scores.push_back(PredictStatements(*m));
   }
   return scores;
 }
 
 GbdtCostModel::GbdtCostModel(GbdtParams params) : params_(params), model_(params) {}
 
-void GbdtCostModel::Update(
-    uint64_t task_id, const std::vector<std::vector<std::vector<float>>>& program_features,
-    const std::vector<double>& throughputs) {
+void GbdtCostModel::Update(uint64_t task_id,
+                           const std::vector<FeatureMatrix>& program_features,
+                           const std::vector<double>& throughputs) {
   CHECK_EQ(program_features.size(), throughputs.size());
   for (size_t i = 0; i < program_features.size(); ++i) {
     if (program_features[i].empty()) {
@@ -64,91 +64,133 @@ void GbdtCostModel::Retrain() {
     // Weighted squared error with the (normalized) throughput as the weight;
     // failed programs keep a small weight so the model learns to avoid them.
     data.weights.push_back(std::max(label, 0.1));
-    for (const auto& row : samples_[p]) {
-      data.rows.push_back(row);
-      data.group.push_back(group);
-    }
+    data.rows.AppendMatrix(samples_[p]);  // one block copy per program
+    data.group.insert(data.group.end(), samples_[p].rows(), group);
   }
   model_ = Gbdt(params_);
   model_.Train(data);
 }
 
 std::vector<double> GbdtCostModel::Predict(
-    const std::vector<std::vector<std::vector<float>>>& program_features) {
-  std::vector<double> scores;
-  scores.reserve(program_features.size());
-  for (const auto& rows : program_features) {
-    if (rows.empty()) {
-      scores.push_back(kInvalidScore);  // empty features: failed lowering
-    } else if (!model_.trained()) {
-      scores.push_back(0.0);
-    } else {
-      scores.push_back(model_.PredictProgram(rows));
-    }
+    const std::vector<FeatureMatrix>& program_features) {
+  std::vector<const FeatureMatrix*> ptrs;
+  ptrs.reserve(program_features.size());
+  for (const FeatureMatrix& m : program_features) {
+    ptrs.push_back(&m);
   }
-  return scores;
+  return PredictBatch(ptrs);
 }
 
 std::vector<double> GbdtCostModel::PredictBatch(
-    const std::vector<const std::vector<std::vector<float>>*>& programs) {
-  std::vector<double> scores;
-  scores.reserve(programs.size());
-  for (const auto* rows : programs) {
-    if (rows->empty()) {
-      scores.push_back(kInvalidScore);  // empty features: failed lowering
-    } else if (!model_.trained()) {
-      scores.push_back(0.0);
-    } else {
-      scores.push_back(model_.PredictProgram(*rows));
+    const std::vector<const FeatureMatrix*>& programs) {
+  std::vector<double> scores(programs.size(), 0.0);
+  if (!model_.trained()) {
+    for (size_t p = 0; p < programs.size(); ++p) {
+      if (programs[p]->empty()) {
+        scores[p] = kInvalidScore;  // empty features: failed lowering
+      }
     }
+    return scores;
+  }
+  // Gather row pointers across every program into one forest pass.
+  std::vector<const float*> rows;
+  for (const FeatureMatrix* m : programs) {
+    for (size_t r = 0; r < m->rows(); ++r) {
+      rows.push_back(m->row(r));
+    }
+  }
+  std::vector<double> row_scores(rows.size());
+  model_.PredictStatementRows(rows.data(), rows.size(), row_scores.data());
+  size_t cursor = 0;
+  for (size_t p = 0; p < programs.size(); ++p) {
+    const FeatureMatrix* m = programs[p];
+    if (m->empty()) {
+      scores[p] = kInvalidScore;
+      continue;
+    }
+    // base + s0 + s1 + ... in row order: the same association the scalar
+    // PredictProgram uses, so scores are bit-identical to the unbatched path.
+    double score = model_.base_score();
+    for (size_t r = 0; r < m->rows(); ++r) {
+      score += row_scores[cursor + r];
+    }
+    cursor += m->rows();
+    scores[p] = score;
   }
   return scores;
 }
 
-std::vector<double> GbdtCostModel::PredictStatements(
-    const std::vector<std::vector<float>>& rows) {
-  std::vector<double> scores;
-  scores.reserve(rows.size());
-  for (const auto& row : rows) {
-    scores.push_back(model_.trained() ? model_.PredictRow(row) : 0.0);
+std::vector<double> GbdtCostModel::PredictStatements(const FeatureMatrix& rows) {
+  std::vector<double> scores(rows.rows(), 0.0);
+  if (!model_.trained() || rows.empty()) {
+    return scores;
+  }
+  std::vector<const float*> ptrs;
+  ptrs.reserve(rows.rows());
+  for (size_t r = 0; r < rows.rows(); ++r) {
+    ptrs.push_back(rows.row(r));
+  }
+  model_.PredictStatementRows(ptrs.data(), ptrs.size(), scores.data());
+  return scores;
+}
+
+std::vector<std::vector<double>> GbdtCostModel::PredictStatementsBatch(
+    const std::vector<const FeatureMatrix*>& programs) {
+  std::vector<std::vector<double>> scores(programs.size());
+  std::vector<const float*> rows;
+  for (const FeatureMatrix* m : programs) {
+    for (size_t r = 0; r < m->rows(); ++r) {
+      rows.push_back(m->row(r));
+    }
+  }
+  std::vector<double> row_scores(rows.size(), 0.0);
+  if (model_.trained() && !rows.empty()) {
+    model_.PredictStatementRows(rows.data(), rows.size(), row_scores.data());
+  }
+  size_t cursor = 0;
+  for (size_t p = 0; p < programs.size(); ++p) {
+    size_t n = programs[p]->rows();
+    scores[p].assign(row_scores.begin() + static_cast<ptrdiff_t>(cursor),
+                     row_scores.begin() + static_cast<ptrdiff_t>(cursor + n));
+    cursor += n;
   }
   return scores;
 }
 
 std::vector<double> RandomCostModel::Predict(
-    const std::vector<std::vector<std::vector<float>>>& program_features) {
+    const std::vector<FeatureMatrix>& program_features) {
   std::vector<double> scores;
   scores.reserve(program_features.size());
-  for (const auto& rows : program_features) {
-    scores.push_back(rows.empty() ? kInvalidScore : rng_.Uniform());
+  for (const FeatureMatrix& m : program_features) {
+    scores.push_back(m.empty() ? kInvalidScore : rng_.Uniform());
   }
   return scores;
 }
 
 std::vector<double> RandomCostModel::PredictBatch(
-    const std::vector<const std::vector<std::vector<float>>*>& programs) {
+    const std::vector<const FeatureMatrix*>& programs) {
   // Same draws as Predict, without the default implementation's deep copy of
   // feature matrices it would never read.
   std::vector<double> scores;
   scores.reserve(programs.size());
-  for (const auto* rows : programs) {
-    scores.push_back(rows->empty() ? kInvalidScore : rng_.Uniform());
+  for (const FeatureMatrix* m : programs) {
+    scores.push_back(m->empty() ? kInvalidScore : rng_.Uniform());
   }
   return scores;
 }
 
-std::vector<double> RandomCostModel::PredictStatements(
-    const std::vector<std::vector<float>>& rows) {
+std::vector<double> RandomCostModel::PredictStatements(const FeatureMatrix& rows) {
   // Stateless by design (see the class comment): each row's score derives
   // from its contents and the seed, never from how many rows were scored
   // before, so memoized statement scores replay bit-identically.
   std::vector<double> scores;
-  scores.reserve(rows.size());
-  for (const auto& row : rows) {
+  scores.reserve(rows.rows());
+  for (size_t r = 0; r < rows.rows(); ++r) {
+    const float* row = rows.row(r);
     uint64_t h = seed_ ^ 0x517cc1b727220a95ULL;
-    for (float v : row) {
+    for (size_t f = 0; f < rows.dim(); ++f) {
       uint32_t bits = 0;
-      std::memcpy(&bits, &v, sizeof(bits));
+      std::memcpy(&bits, &row[f], sizeof(bits));
       HashCombine(&h, bits);
     }
     scores.push_back(Rng(h).Uniform());

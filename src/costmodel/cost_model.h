@@ -4,6 +4,10 @@
 // we normalize the throughput of all programs come from the same DAG to be in
 // the range of [0, 1]." The model accumulates measurement records across
 // tasks and retrains on every update.
+//
+// All entry points speak FeatureMatrix — the flat row-major features cached
+// on ProgramArtifacts — so batch prediction walks borrowed row pointers
+// straight into the compiled GBDT forest without copying a float.
 #ifndef ANSOR_SRC_COSTMODEL_COST_MODEL_H_
 #define ANSOR_SRC_COSTMODEL_COST_MODEL_H_
 
@@ -40,36 +44,32 @@ class CostModel {
   // identifies the DAG for per-task throughput normalization; `throughputs`
   // are raw FLOPS, reported as 0 for invalid measurements (see the
   // kInvalidScore contract above).
-  virtual void Update(uint64_t task_id,
-                      const std::vector<std::vector<std::vector<float>>>& program_features,
+  virtual void Update(uint64_t task_id, const std::vector<FeatureMatrix>& program_features,
                       const std::vector<double>& throughputs) = 0;
 
   // Predicted fitness per program (higher is better). Scores are comparable
   // within one task; programs with empty features score kInvalidScore.
-  virtual std::vector<double> Predict(
-      const std::vector<std::vector<std::vector<float>>>& program_features) = 0;
+  virtual std::vector<double> Predict(const std::vector<FeatureMatrix>& program_features) = 0;
 
   // Predict over borrowed feature matrices: the evolution hot path scores a
   // population without copying features out of cached ProgramArtifacts.
   // Entries are non-null. The default implementation materializes a copy and
   // calls Predict; GbdtCostModel overrides it copy-free.
-  virtual std::vector<double> PredictBatch(
-      const std::vector<const std::vector<std::vector<float>>*>& programs);
+  virtual std::vector<double> PredictBatch(const std::vector<const FeatureMatrix*>& programs);
 
   // Per-statement scores for one program (used by node-based crossover to
   // score the rewriting steps of individual DAG nodes). Implementations must
   // be pure functions of (rows, model state): the ProgramCache memoizes the
   // result keyed by (model_id, version), so a hidden per-call state (e.g. a
   // shared RNG stream) would make search results depend on cache capacity.
-  virtual std::vector<double> PredictStatements(
-      const std::vector<std::vector<float>>& rows) = 0;
+  virtual std::vector<double> PredictStatements(const FeatureMatrix& rows) = 0;
 
   // Batched form of PredictStatements: scores several programs in one call
   // (evolutionary search batches all crossover-parent scoring of a wave).
   // Entries are non-null; a program with no rows (failed lowering) yields an
   // empty score vector. The default implementation loops PredictStatements.
   virtual std::vector<std::vector<double>> PredictStatementsBatch(
-      const std::vector<const std::vector<std::vector<float>>*>& programs);
+      const std::vector<const FeatureMatrix*>& programs);
 
   // Cache stamp for memoized predictions (ProgramArtifact stage scores):
   // model_id is unique per instance for the lifetime of the process, version
@@ -91,24 +91,26 @@ class GbdtCostModel : public CostModel {
  public:
   explicit GbdtCostModel(GbdtParams params = GbdtParams());
 
-  void Update(uint64_t task_id,
-              const std::vector<std::vector<std::vector<float>>>& program_features,
+  void Update(uint64_t task_id, const std::vector<FeatureMatrix>& program_features,
               const std::vector<double>& throughputs) override;
-  std::vector<double> Predict(
-      const std::vector<std::vector<std::vector<float>>>& program_features) override;
+  std::vector<double> Predict(const std::vector<FeatureMatrix>& program_features) override;
   std::vector<double> PredictBatch(
-      const std::vector<const std::vector<std::vector<float>>*>& programs) override;
-  std::vector<double> PredictStatements(const std::vector<std::vector<float>>& rows) override;
+      const std::vector<const FeatureMatrix*>& programs) override;
+  std::vector<double> PredictStatements(const FeatureMatrix& rows) override;
+  std::vector<std::vector<double>> PredictStatementsBatch(
+      const std::vector<const FeatureMatrix*>& programs) override;
 
   size_t num_samples() const { return labels_raw_.size(); }
+  // The trained model (bench / introspection).
+  const Gbdt& gbdt() const { return model_; }
 
  private:
   void Retrain();
 
   GbdtParams params_;
   Gbdt model_;
-  // Accumulated training data.
-  std::vector<std::vector<std::vector<float>>> samples_;
+  // Accumulated training data: one feature matrix per measured program.
+  std::vector<FeatureMatrix> samples_;
   std::vector<double> labels_raw_;  // raw throughput
   std::vector<uint64_t> task_ids_;
   std::unordered_map<uint64_t, double> task_best_;
@@ -123,13 +125,12 @@ class RandomCostModel : public CostModel {
  public:
   explicit RandomCostModel(uint64_t seed = 0) : seed_(seed), rng_(seed) {}
 
-  void Update(uint64_t, const std::vector<std::vector<std::vector<float>>>&,
+  void Update(uint64_t, const std::vector<FeatureMatrix>&,
               const std::vector<double>&) override {}
-  std::vector<double> Predict(
-      const std::vector<std::vector<std::vector<float>>>& program_features) override;
+  std::vector<double> Predict(const std::vector<FeatureMatrix>& program_features) override;
   std::vector<double> PredictBatch(
-      const std::vector<const std::vector<std::vector<float>>*>& programs) override;
-  std::vector<double> PredictStatements(const std::vector<std::vector<float>>& rows) override;
+      const std::vector<const FeatureMatrix*>& programs) override;
+  std::vector<double> PredictStatements(const FeatureMatrix& rows) override;
 
  private:
   uint64_t seed_;

@@ -19,16 +19,17 @@ struct BinMap {
   }
 };
 
-BinMap BuildBins(const std::vector<std::vector<float>>& rows, int max_bins) {
-  size_t dim = rows.empty() ? 0 : rows[0].size();
+BinMap BuildBins(const FeatureMatrix& rows, int max_bins) {
+  size_t dim = rows.dim();
+  size_t n_rows = rows.rows();
   BinMap bins;
   bins.edges.resize(dim);
   std::vector<float> values;
-  values.reserve(rows.size());
+  values.reserve(n_rows);
   for (size_t f = 0; f < dim; ++f) {
     values.clear();
-    for (const auto& row : rows) {
-      values.push_back(row[f]);
+    for (size_t i = 0; i < n_rows; ++i) {
+      values.push_back(rows.at(i, f));
     }
     std::sort(values.begin(), values.end());
     values.erase(std::unique(values.begin(), values.end()), values.end());
@@ -58,17 +59,19 @@ struct SplitResult {
   float threshold = 0.0f;
 };
 
+// Builds one tree over pre-binned rows. `binned` is column-major
+// (binned[f * n_rows + i]), so the histogram inner loop reads one contiguous
+// column per feature.
 class TreeBuilder {
  public:
-  TreeBuilder(const std::vector<std::vector<float>>& rows,
-              const std::vector<std::vector<uint8_t>>& binned, const BinMap& bins,
+  TreeBuilder(const std::vector<uint8_t>& binned, size_t n_rows, const BinMap& bins,
               const std::vector<double>& grad, const std::vector<double>& hess,
               const GbdtParams& params)
-      : rows_(rows), binned_(binned), bins_(bins), grad_(grad), hess_(hess),
+      : binned_(binned), n_rows_(n_rows), bins_(bins), grad_(grad), hess_(hess),
         params_(params) {}
 
   Tree Build() {
-    std::vector<int> all(rows_.size());
+    std::vector<int> all(n_rows_);
     for (size_t i = 0; i < all.size(); ++i) {
       all[i] = static_cast<int>(i);
     }
@@ -77,6 +80,10 @@ class TreeBuilder {
   }
 
  private:
+  uint8_t BinAt(size_t feature, int row) const {
+    return binned_[feature * n_rows_ + static_cast<size_t>(row)];
+  }
+
   int BuildNode(const std::vector<int>& rows, int depth) {
     double g = 0.0;
     double h = 0.0;
@@ -100,8 +107,7 @@ class TreeBuilder {
     std::vector<int> left;
     std::vector<int> right;
     for (int i : rows) {
-      if (binned_[static_cast<size_t>(i)][static_cast<size_t>(best.feature)] <=
-          best.bin) {
+      if (BinAt(static_cast<size_t>(best.feature), i) <= best.bin) {
         left.push_back(i);
       } else {
         right.push_back(i);
@@ -134,8 +140,9 @@ class TreeBuilder {
       }
       g_hist.assign(n_bins, 0.0);
       h_hist.assign(n_bins, 0.0);
+      const uint8_t* col = binned_.data() + f * n_rows_;
       for (int i : rows) {
-        uint8_t b = binned_[static_cast<size_t>(i)][f];
+        uint8_t b = col[static_cast<size_t>(i)];
         g_hist[b] += grad_[static_cast<size_t>(i)];
         h_hist[b] += hess_[static_cast<size_t>(i)];
       }
@@ -162,8 +169,8 @@ class TreeBuilder {
     return best;
   }
 
-  const std::vector<std::vector<float>>& rows_;
-  const std::vector<std::vector<uint8_t>>& binned_;
+  const std::vector<uint8_t>& binned_;
+  size_t n_rows_;
   const BinMap& bins_;
   const std::vector<double>& grad_;
   const std::vector<double>& hess_;
@@ -171,9 +178,17 @@ class TreeBuilder {
   Tree tree_;
 };
 
+int TreeDepth(const Tree& tree, int node) {
+  const TreeNode& n = tree.nodes[static_cast<size_t>(node)];
+  if (n.feature < 0) {
+    return 0;
+  }
+  return 1 + std::max(TreeDepth(tree, n.left), TreeDepth(tree, n.right));
+}
+
 }  // namespace
 
-double Tree::PredictRow(const std::vector<float>& row) const {
+double Tree::PredictRow(const float* row) const {
   if (nodes.empty()) {
     return 0.0;
   }
@@ -187,10 +202,89 @@ double Tree::PredictRow(const std::vector<float>& row) const {
   }
 }
 
+void CompiledForest::Compile(const std::vector<Tree>& trees, double learning_rate) {
+  feature_.clear();
+  threshold_.clear();
+  left_.clear();
+  right_.clear();
+  value_.clear();
+  roots_.clear();
+  depth_.clear();
+  for (const Tree& tree : trees) {
+    if (tree.nodes.empty()) {
+      continue;  // contributes exactly 0.0, same as the scalar path
+    }
+    int32_t base = static_cast<int32_t>(feature_.size());
+    roots_.push_back(base);
+    depth_.push_back(TreeDepth(tree, 0));
+    for (size_t i = 0; i < tree.nodes.size(); ++i) {
+      const TreeNode& n = tree.nodes[i];
+      int32_t self = base + static_cast<int32_t>(i);
+      if (n.feature < 0) {
+        // Self-looping leaf: the traversal loop can run a fixed number of
+        // steps without testing for leaves — extra steps stay put.
+        feature_.push_back(0);
+        threshold_.push_back(0.0f);
+        left_.push_back(self);
+        right_.push_back(self);
+      } else {
+        feature_.push_back(n.feature);
+        threshold_.push_back(n.threshold);
+        left_.push_back(base + n.left);
+        right_.push_back(base + n.right);
+      }
+      // Same double product as the scalar path computes per prediction.
+      value_.push_back(learning_rate * n.value);
+    }
+  }
+}
+
+void CompiledForest::PredictRows(const float* const* rows, size_t n, double* out) const {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = 0.0;
+  }
+  if (roots_.empty()) {
+    return;
+  }
+  const int32_t* feature = feature_.data();
+  const float* threshold = threshold_.data();
+  const int32_t* left = left_.data();
+  const int32_t* right = right_.data();
+  const double* value = value_.data();
+  constexpr size_t kBlock = 32;
+  int32_t idx[kBlock];
+  for (size_t start = 0; start < n; start += kBlock) {
+    size_t count = std::min(kBlock, n - start);
+    const float* const* block = rows + start;
+    for (size_t t = 0; t < roots_.size(); ++t) {
+      int32_t root = roots_[t];
+      int32_t steps = depth_[t];
+      for (size_t k = 0; k < count; ++k) {
+        idx[k] = root;
+      }
+      for (int32_t s = 0; s < steps; ++s) {
+        for (size_t k = 0; k < count; ++k) {
+          int32_t i = idx[k];
+          // NaN compares false, taking the right child — identical to the
+          // scalar traversal.
+          idx[k] = block[k][feature[i]] <= threshold[i] ? left[i] : right[i];
+        }
+      }
+      for (size_t k = 0; k < count; ++k) {
+        out[start + k] += value[idx[k]];
+      }
+    }
+  }
+}
+
 void Gbdt::Train(const GbdtDataset& data) {
+  // Bin indices live in uint8_t: more than 256 bins would wrap silently.
+  CHECK_GE(params_.max_bins, 2);
+  CHECK_LE(params_.max_bins, 256);
   trees_.clear();
+  forest_ = CompiledForest();
   base_score_ = 0.0;
-  size_t n_rows = data.rows.size();
+  size_t n_rows = data.rows.rows();
   if (n_rows == 0 || data.num_programs() == 0) {
     return;
   }
@@ -198,12 +292,14 @@ void Gbdt::Train(const GbdtDataset& data) {
   CHECK_EQ(data.weights.size(), data.labels.size());
 
   BinMap bins = BuildBins(data.rows, params_.max_bins);
-  std::vector<std::vector<uint8_t>> binned(n_rows);
-  size_t dim = data.rows[0].size();
+  // Column-major binned features: the split search reads one feature across
+  // all rows at a time, so columns are the contiguous direction.
+  size_t dim = data.rows.dim();
+  std::vector<uint8_t> binned(dim * n_rows);
   for (size_t i = 0; i < n_rows; ++i) {
-    binned[i].resize(dim);
+    const float* row = data.rows.row(i);
     for (size_t f = 0; f < dim; ++f) {
-      binned[i][f] = bins.BinOf(static_cast<int>(f), data.rows[i][f]);
+      binned[f * n_rows + i] = bins.BinOf(static_cast<int>(f), row[f]);
     }
   }
 
@@ -235,13 +331,13 @@ void Gbdt::Train(const GbdtDataset& data) {
       grad[i] = 2.0 * wp * residual;
       hess[i] = 2.0 * wp;
     }
-    Tree tree = TreeBuilder(data.rows, binned, bins, grad, hess, params_).Build();
+    Tree tree = TreeBuilder(binned, n_rows, bins, grad, hess, params_).Build();
     // Update program predictions.
     bool useful = false;
     for (int p = 0; p < data.num_programs(); ++p) {
       double delta = 0.0;
       for (int i : program_rows[static_cast<size_t>(p)]) {
-        delta += tree.PredictRow(data.rows[static_cast<size_t>(i)]);
+        delta += tree.PredictRow(data.rows.row(static_cast<size_t>(i)));
       }
       if (delta != 0.0) {
         useful = true;
@@ -253,14 +349,19 @@ void Gbdt::Train(const GbdtDataset& data) {
       break;  // converged: the tree is a stump predicting zero
     }
   }
+  forest_.Compile(trees_, params_.learning_rate);
 }
 
-double Gbdt::PredictRow(const std::vector<float>& row) const {
+double Gbdt::PredictRow(const float* row) const {
   double score = 0.0;
   for (const Tree& tree : trees_) {
     score += params_.learning_rate * tree.PredictRow(row);
   }
   return score;
+}
+
+void Gbdt::PredictStatementRows(const float* const* rows, size_t n, double* out) const {
+  forest_.PredictRows(rows, n, out);
 }
 
 double Gbdt::PredictProgram(const std::vector<std::vector<float>>& rows) const {

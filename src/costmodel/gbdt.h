@@ -7,11 +7,21 @@
 // with the throughput y itself as the weight, so well-performing programs
 // matter more. We implement the same objective: per-row gradients derive from
 // the program-level residual, trees use histogram-based greedy splits.
+//
+// Inference is served from a CompiledForest: all trees flattened into shared
+// structure-of-arrays storage (feature / threshold / children / value), with
+// leaves rewritten to self-loop so every row walks a tree in exactly its
+// depth steps — a fixed-trip branchless loop that interleaves a block of rows
+// for instruction-level parallelism. Leaf values are pre-scaled by the
+// learning rate at compile time; batch results are bit-identical to the
+// scalar PredictRow loop (same products, same accumulation order).
 #ifndef ANSOR_SRC_COSTMODEL_GBDT_H_
 #define ANSOR_SRC_COSTMODEL_GBDT_H_
 
 #include <cstdint>
 #include <vector>
+
+#include "src/features/feature_matrix.h"
 
 namespace ansor {
 
@@ -20,6 +30,9 @@ struct GbdtParams {
   int max_depth = 6;
   double learning_rate = 0.15;
   double lambda = 1.0;          // L2 regularization on leaf values
+  // Histogram bin count per feature. Must lie in [2, 256]: bin indices are
+  // stored as uint8_t, so anything above 256 would silently wrap and
+  // corrupt splits. Train() CHECKs this bound.
   int max_bins = 32;
   int min_rows_per_leaf = 4;
   double min_gain = 1e-6;
@@ -35,38 +48,72 @@ struct TreeNode {
 
 struct Tree {
   std::vector<TreeNode> nodes;
-  double PredictRow(const std::vector<float>& row) const;
+  double PredictRow(const float* row) const;
+  double PredictRow(const std::vector<float>& row) const { return PredictRow(row.data()); }
 };
 
 // A training set where rows are statements grouped into programs.
 struct GbdtDataset {
-  std::vector<std::vector<float>> rows;  // statement feature vectors
-  std::vector<int> group;                // rows[i] belongs to program group[i]
-  std::vector<double> labels;            // per-program target (normalized throughput)
-  std::vector<double> weights;           // per-program weight
+  FeatureMatrix rows;          // statement feature rows (flat, row-major)
+  std::vector<int> group;      // row i belongs to program group[i]
+  std::vector<double> labels;  // per-program target (normalized throughput)
+  std::vector<double> weights; // per-program weight
 
   int num_programs() const { return static_cast<int>(labels.size()); }
+};
+
+// Forest compiled to structure-of-arrays node storage for batch inference.
+// Leaves self-loop (left == right == self), so traversal of tree t is a
+// fixed loop of depth(t) steps with no leaf test inside.
+class CompiledForest {
+ public:
+  void Compile(const std::vector<Tree>& trees, double learning_rate);
+
+  bool empty() const { return roots_.empty(); }
+
+  // out[i] = sum over trees of the (learning-rate-scaled) leaf value for
+  // rows[i]. Rows are interleaved in blocks so independent traversals
+  // overlap; accumulation order per row is tree order, matching the scalar
+  // path bit for bit.
+  void PredictRows(const float* const* rows, size_t n, double* out) const;
+
+ private:
+  std::vector<int32_t> feature_;
+  std::vector<float> threshold_;
+  std::vector<int32_t> left_;
+  std::vector<int32_t> right_;
+  std::vector<double> value_;  // pre-scaled by learning_rate
+  std::vector<int32_t> roots_;
+  std::vector<int32_t> depth_;
 };
 
 class Gbdt {
  public:
   explicit Gbdt(GbdtParams params = GbdtParams()) : params_(params) {}
 
-  // Trains from scratch on the dataset (sum-over-group objective).
+  // Trains from scratch on the dataset (sum-over-group objective) and
+  // compiles the forest for batch inference.
   void Train(const GbdtDataset& data);
 
   bool trained() const { return !trees_.empty(); }
+  double base_score() const { return base_score_; }
 
-  // Score of a single statement row.
-  double PredictRow(const std::vector<float>& row) const;
-  // Score of a program: sum over its statement rows.
+  // Score of a single statement row (scalar reference path).
+  double PredictRow(const float* row) const;
+  double PredictRow(const std::vector<float>& row) const { return PredictRow(row.data()); }
+  // Batched statement scores via the compiled forest (bit-identical to the
+  // scalar path). out must have room for n values.
+  void PredictStatementRows(const float* const* rows, size_t n, double* out) const;
+  // Score of a program: base score plus the sum over its statement rows.
   double PredictProgram(const std::vector<std::vector<float>>& rows) const;
 
   const std::vector<Tree>& trees() const { return trees_; }
+  const CompiledForest& forest() const { return forest_; }
 
  private:
   GbdtParams params_;
   std::vector<Tree> trees_;
+  CompiledForest forest_;
   double base_score_ = 0.0;
 };
 

@@ -72,7 +72,7 @@ void CrossoverScoreCache::Flush() {
   if (pending_.empty()) {
     return;
   }
-  std::vector<const std::vector<std::vector<float>>*> programs;
+  std::vector<const FeatureMatrix*> programs;
   programs.reserve(pending_.size());
   for (size_t i : pending_) {
     programs.push_back(&(*artifacts_)[i]->features());
@@ -485,7 +485,7 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
     pool.ParallelFor(pop, [&](size_t i) {
       artifacts[i] = cache->GetOrBuild(population[i], options_.cache_client_id);
     });
-    std::vector<const std::vector<std::vector<float>>*> feature_ptrs(pop);
+    std::vector<const FeatureMatrix*> feature_ptrs(pop);
     for (size_t i = 0; i < pop; ++i) {
       feature_ptrs[i] = &artifacts[i]->features();
     }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 #include "src/analysis/access_pattern.h"
 #include "src/dag/compute_dag.h"
@@ -109,19 +108,41 @@ int PositionOf(size_t index, const std::vector<LoopInfo>& stack) {
   return is_reduce ? kPosOuterReduce : kPosOuterSpatial;
 }
 
+// Walks the loop tree and writes one feature row per innermost store directly
+// into a flat FeatureMatrix. All per-row working state lives in scratch
+// buffers owned by the builder and reused across rows, and buffers are
+// interned to small integer ids on first sight, so the steady-state row cost
+// is arithmetic only — no allocations, no string-keyed hashing.
 class FeatureBuilder {
  public:
-  FeatureBuilder(const LoweredProgram& program, std::vector<std::string>* row_stages)
-      : program_(program), row_stages_(row_stages) {}
+  explicit FeatureBuilder(const LoweredProgram& program)
+      : program_(program), matrix_(FeatureDim()) {}
 
-  std::vector<std::vector<float>> Run() {
+  FeatureMatrix Run() {
     for (const LoopTreeNodeRef& root : program_.roots) {
       Walk(*root);
     }
-    return std::move(rows_);
+    return std::move(matrix_);
   }
 
  private:
+  // Per-buffer accumulated access features for the current row, keyed by
+  // interned buffer id (first-encounter order within the row).
+  struct BufferFeat {
+    int buffer_id = -1;
+    double bytes = 0.0;
+    double unique_bytes = 0.0;
+    double lines = 0.0;
+    double unique_lines = 0.0;
+    int access_type = 0;  // bit 0 read, bit 1 write
+    int reuse_type = kReuseNone;
+    double reuse_distance_iters = 0.0;
+    double reuse_distance_bytes = 0.0;
+    double reuse_counter = 1.0;
+    double stride = 0.0;
+    int n_accesses = 0;
+  };
+
   void Walk(const LoopTreeNode& node) {
     switch (node.kind) {
       case LoopTreeKind::kLoop:
@@ -137,17 +158,30 @@ class FeatureBuilder {
         }
         return;
       case LoopTreeKind::kStore:
-        rows_.push_back(BuildRow(node));
-        if (row_stages_ != nullptr) {
-          row_stages_->push_back(node.stage_name);
-        }
+        BuildRow(node);
         return;
     }
   }
 
+  void Push(double v) { out_[idx_++] = static_cast<float>(v); }
+  void PushRaw(float v) { out_[idx_++] = v; }
+
+  // Buffers are interned program-wide to dense ids; the comparison shortcut
+  // is pointer identity, with name equality as the merge rule (matching the
+  // former string-keyed map).
+  int InternBuffer(const BufferRef& buffer) {
+    for (size_t k = 0; k < interned_.size(); ++k) {
+      if (interned_[k] == buffer.get() || interned_[k]->name == buffer->name) {
+        return static_cast<int>(k);
+      }
+    }
+    interned_.push_back(buffer.get());
+    return static_cast<int>(interned_.size()) - 1;
+  }
+
   // Appends annotation-family features: innermost length, position one-hot,
   // product of lengths, count.
-  void AnnotationFeatures(IterAnnotation ann, std::vector<float>* row) {
+  void AnnotationFeatures(IterAnnotation ann) {
     double innermost_len = 0.0;
     int position = kPosNone;
     double product = 1.0;
@@ -164,21 +198,21 @@ class FeatureBuilder {
     if (count == 0.0) {
       product = 0.0;
     }
-    row->push_back(static_cast<float>(Log2p1(innermost_len)));
+    Push(Log2p1(innermost_len));
     for (int p = 0; p < kNumPositionTypes; ++p) {
-      row->push_back(p == position ? 1.0f : 0.0f);
+      PushRaw(p == position ? 1.0f : 0.0f);
     }
-    row->push_back(static_cast<float>(Log2p1(product)));
-    row->push_back(static_cast<float>(count));
+    Push(Log2p1(product));
+    Push(count);
   }
 
-  std::vector<float> BuildRow(const LoopTreeNode& store) {
-    std::vector<float> row;
-    row.reserve(FeatureDim());
+  void BuildRow(const LoopTreeNode& store) {
+    out_ = matrix_.AddRow(store.stage_name);
+    idx_ = 0;
 
-    std::unordered_map<int64_t, int64_t> extents;
+    extents_.clear();  // clear() keeps buckets: no rehash after the first row
     for (const LoopInfo& f : stack_) {
-      extents[f.loop->var->var_id] = f.extent;
+      extents_[f.loop->var->var_id] = f.extent;
     }
 
     // 1. Float / int arithmetic counts (16), scaled by iteration count of the
@@ -198,13 +232,13 @@ class FeatureBuilder {
                      counts.f_cmp, counts.f_math, counts.f_select, counts.f_other,
                      counts.i_add, counts.i_sub, counts.i_mul, counts.i_div, counts.i_mod,
                      counts.i_cmp, counts.i_other}) {
-      row.push_back(static_cast<float>(Log2p1(c * iters)));
+      Push(Log2p1(c * iters));
     }
 
     // 2-4. Vectorization / unrolling / parallelization families (11 each).
-    AnnotationFeatures(IterAnnotation::kVectorize, &row);
-    AnnotationFeatures(IterAnnotation::kUnroll, &row);
-    AnnotationFeatures(IterAnnotation::kParallel, &row);
+    AnnotationFeatures(IterAnnotation::kVectorize);
+    AnnotationFeatures(IterAnnotation::kUnroll);
+    AnnotationFeatures(IterAnnotation::kParallel);
 
     // 5. GPU thread binding lengths: blockIdx.x/y/z, threadIdx.x/y/z, vthread.
     double block_x = 0.0;
@@ -224,172 +258,198 @@ class FeatureBuilder {
                                  : vthread * static_cast<double>(f.extent);
       }
     }
-    row.push_back(static_cast<float>(Log2p1(block_x)));
-    row.push_back(0.0f);  // blockIdx.y (not generated by this implementation)
-    row.push_back(0.0f);  // blockIdx.z
-    row.push_back(static_cast<float>(Log2p1(thread_x)));
-    row.push_back(0.0f);  // threadIdx.y
-    row.push_back(0.0f);  // threadIdx.z
-    row.push_back(static_cast<float>(Log2p1(vthread)));
+    Push(Log2p1(block_x));
+    PushRaw(0.0f);  // blockIdx.y (not generated by this implementation)
+    PushRaw(0.0f);  // blockIdx.z
+    Push(Log2p1(thread_x));
+    PushRaw(0.0f);  // threadIdx.y
+    PushRaw(0.0f);  // threadIdx.z
+    Push(Log2p1(vthread));
 
-    // 6. Arithmetic intensity curve: 10 interpolated samples over loop depth.
-    std::vector<AccessPattern> accesses = StatementAccesses(store, extents);
+    accesses_ = StatementAccesses(store, extents_);
     size_t depth = stack_.size();
-    double flops_per_iter =
-        std::max(0.5, store.value.defined() ? ExprFlopCount(store.value) : 0.0);
-    std::vector<double> intensity(depth == 0 ? 1 : depth, 0.0);
-    {
-      // unique bytes of loops >= d, summed over accesses.
-      for (size_t d = 0; d < std::max<size_t>(depth, 1); ++d) {
-        double inner_iters = 1.0;
-        double bytes = 0.0;
-        for (size_t j = d; j < depth; ++j) {
-          inner_iters *= static_cast<double>(stack_[j].extent);
-        }
-        for (const AccessPattern& a : accesses) {
-          double elements = 1.0;
-          for (size_t j = d; j < depth; ++j) {
-            int64_t vid = stack_[j].loop->var->var_id;
-            if (!a.analyzable) {
-              elements *= static_cast<double>(stack_[j].extent);
-            } else if (std::fabs(a.StrideOf(vid)) > 0.0) {
-              elements *=
-                  static_cast<double>(std::min<int64_t>(stack_[j].extent, a.DistinctOf(vid)));
-            }
+    size_t n_acc = accesses_.size();
+
+    // Shared unique-elements computation, done once per row and consumed by
+    // both the intensity curve and the buffer slots. For access a and loop
+    // level j, contrib[a][j] is the number of distinct positions loop j
+    // contributes to the access; suffix[a][d] is the product over loops
+    // j >= d — the unique elements the access touches inside depth d. All
+    // factors are small integers, so the suffix-product association is exact.
+    strides_.assign(n_acc * depth, 0.0);
+    suffix_.assign(n_acc * (depth + 1), 1.0);
+    iter_suffix_.assign(depth + 1, 1.0);
+    for (size_t j = depth; j-- > 0;) {
+      iter_suffix_[j] = iter_suffix_[j + 1] * static_cast<double>(stack_[j].extent);
+    }
+    for (size_t a = 0; a < n_acc; ++a) {
+      const AccessPattern& ap = accesses_[a];
+      double* suffix = suffix_.data() + a * (depth + 1);
+      double* strides = strides_.data() + a * depth;
+      for (size_t j = depth; j-- > 0;) {
+        int64_t vid = stack_[j].loop->var->var_id;
+        double contrib = 1.0;
+        if (!ap.analyzable) {
+          strides[j] = 1.0;
+          contrib = static_cast<double>(stack_[j].extent);
+        } else {
+          strides[j] = std::fabs(ap.StrideOf(vid));
+          if (strides[j] > 0.0) {
+            contrib = static_cast<double>(
+                std::min<int64_t>(stack_[j].extent, ap.DistinctOf(vid)));
           }
-          bytes += elements * kBytesPerElement;
         }
-        intensity[d] = (flops_per_iter * inner_iters) / std::max(bytes, 1.0);
+        suffix[j] = contrib * suffix[j + 1];
       }
     }
+
+    // 6. Arithmetic intensity curve: 10 interpolated samples over loop depth.
+    double flops_per_iter =
+        std::max(0.5, store.value.defined() ? ExprFlopCount(store.value) : 0.0);
+    intensity_.assign(depth == 0 ? 1 : depth, 0.0);
+    for (size_t d = 0; d < intensity_.size(); ++d) {
+      double bytes = 0.0;
+      for (size_t a = 0; a < n_acc; ++a) {
+        bytes += suffix_[a * (depth + 1) + d] * kBytesPerElement;
+      }
+      intensity_[d] = (flops_per_iter * iter_suffix_[d]) / std::max(bytes, 1.0);
+    }
     for (int s = 0; s < kIntensitySamples; ++s) {
-      double pos = intensity.size() <= 1
+      double pos = intensity_.size() <= 1
                        ? 0.0
                        : static_cast<double>(s) / (kIntensitySamples - 1) *
-                             static_cast<double>(intensity.size() - 1);
+                             static_cast<double>(intensity_.size() - 1);
       size_t lo = static_cast<size_t>(pos);
-      size_t hi = std::min(lo + 1, intensity.size() - 1);
+      size_t hi = std::min(lo + 1, intensity_.size() - 1);
       double frac = pos - static_cast<double>(lo);
-      row.push_back(static_cast<float>(Log2p1(intensity[lo] * (1 - frac) + intensity[hi] * frac)));
+      Push(Log2p1(intensity_[lo] * (1 - frac) + intensity_[hi] * frac));
     }
 
     // 7. Buffer access features: up to 5 buffers, 18 features each; merge
-    //    multiple accesses to the same buffer, order by bytes descending.
-    struct BufferFeat {
-      double bytes = 0.0;
-      double unique_bytes = 0.0;
-      double lines = 0.0;
-      double unique_lines = 0.0;
-      int access_type = 0;  // bit 0 read, bit 1 write
-      int reuse_type = kReuseNone;
-      double reuse_distance_iters = 0.0;
-      double reuse_distance_bytes = 0.0;
-      double reuse_counter = 1.0;
-      double stride = 0.0;
-      int n_accesses = 0;
-    };
-    std::unordered_map<std::string, BufferFeat> buffer_feats;
+    //    multiple accesses to the same buffer, order by bytes descending
+    //    (equal-bytes ties keep first-encounter order).
+    feats_.clear();
     double line_elems = 16.0;  // 64B line / 4B elements
-    for (const AccessPattern& a : accesses) {
-      BufferFeat& bf = buffer_feats[a.buffer->name];
-      bf.access_type |= a.is_write ? 2 : 1;
-      bf.n_accesses += 1;
-      bf.bytes += iters * kBytesPerElement;
-      // Unique elements over the whole nest and innermost stride.
-      double elements = 1.0;
-      double min_stride = 0.0;
-      for (size_t j = 0; j < depth; ++j) {
-        int64_t vid = stack_[j].loop->var->var_id;
-        double stride = a.analyzable ? std::fabs(a.StrideOf(vid)) : 1.0;
-        if (!a.analyzable) {
-          elements *= static_cast<double>(stack_[j].extent);
-        } else if (stride > 0.0) {
-          elements *= static_cast<double>(std::min<int64_t>(stack_[j].extent, a.DistinctOf(vid)));
-        }
-        if (j + 1 == depth) {
-          min_stride = stride;
-        }
-      }
-      bf.unique_bytes += elements * kBytesPerElement;
-      double contiguous = min_stride > 0.0 && min_stride <= 2.0 ? 1.0 / line_elems : 1.0;
-      bf.lines += std::max(1.0, iters * (min_stride == 0.0 ? 1.0 / line_elems : contiguous));
-      bf.unique_lines += std::max(1.0, elements * contiguous / std::max(min_stride, 1.0));
-      bf.stride = min_stride;
-      // Reuse: innermost enclosing loop the access is invariant to.
-      double dist_iters = 1.0;
-      for (size_t j = depth; j > 0; --j) {
-        int64_t vid = stack_[j - 1].loop->var->var_id;
-        double stride = a.analyzable ? std::fabs(a.StrideOf(vid)) : 1.0;
-        if (stride == 0.0 && stack_[j - 1].extent > 1) {
-          bf.reuse_type = kReuseLoopMultipleRead;
-          bf.reuse_distance_iters = dist_iters;
-          bf.reuse_distance_bytes = std::min(elements, dist_iters) * kBytesPerElement;
-          bf.reuse_counter = static_cast<double>(stack_[j - 1].extent);
+    for (size_t a = 0; a < n_acc; ++a) {
+      const AccessPattern& ap = accesses_[a];
+      int id = InternBuffer(ap.buffer);
+      BufferFeat* bf = nullptr;
+      for (BufferFeat& f : feats_) {
+        if (f.buffer_id == id) {
+          bf = &f;
           break;
         }
-        dist_iters *= static_cast<double>(stack_[j - 1].extent);
       }
-      if (bf.reuse_type == kReuseNone && bf.n_accesses > 1) {
-        bf.reuse_type = kReuseSerialMultipleRead;
-        bf.reuse_counter = bf.n_accesses;
+      if (bf == nullptr) {
+        feats_.emplace_back();
+        bf = &feats_.back();
+        bf->buffer_id = id;
+      }
+      bf->access_type |= ap.is_write ? 2 : 1;
+      bf->n_accesses += 1;
+      bf->bytes += iters * kBytesPerElement;
+      double elements = suffix_[a * (depth + 1)];
+      double min_stride = depth > 0 ? strides_[a * depth + depth - 1] : 0.0;
+      bf->unique_bytes += elements * kBytesPerElement;
+      double contiguous = min_stride > 0.0 && min_stride <= 2.0 ? 1.0 / line_elems : 1.0;
+      bf->lines += std::max(1.0, iters * (min_stride == 0.0 ? 1.0 / line_elems : contiguous));
+      bf->unique_lines += std::max(1.0, elements * contiguous / std::max(min_stride, 1.0));
+      // Merge as the minimum over accesses: the fastest-varying access
+      // determines locality, and any fixed pick would let one access
+      // silently overwrite another's innermost stride.
+      bf->stride = bf->n_accesses == 1 ? min_stride : std::min(bf->stride, min_stride);
+      // Reuse: innermost enclosing loop the access is invariant to.
+      double dist_iters = 1.0;
+      for (size_t j = depth; j-- > 0;) {
+        if (strides_[a * depth + j] == 0.0 && stack_[j].extent > 1) {
+          bf->reuse_type = kReuseLoopMultipleRead;
+          bf->reuse_distance_iters = dist_iters;
+          bf->reuse_distance_bytes = std::min(elements, dist_iters) * kBytesPerElement;
+          bf->reuse_counter = static_cast<double>(stack_[j].extent);
+          break;
+        }
+        dist_iters *= static_cast<double>(stack_[j].extent);
+      }
+      if (bf->reuse_type == kReuseNone && bf->n_accesses > 1) {
+        bf->reuse_type = kReuseSerialMultipleRead;
+        bf->reuse_counter = bf->n_accesses;
       }
     }
-    std::vector<std::pair<std::string, BufferFeat>> sorted(buffer_feats.begin(),
-                                                           buffer_feats.end());
-    std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
-      return a.second.bytes > b.second.bytes;
+    order_.resize(feats_.size());
+    for (size_t i = 0; i < order_.size(); ++i) {
+      order_[i] = static_cast<int>(i);
+    }
+    // Stable: equal-bytes ties resolve by first-encounter order, so slot
+    // assignment never depends on hash-map iteration order (which varies
+    // across standard libraries and would make features non-portable).
+    std::stable_sort(order_.begin(), order_.end(), [this](int a, int b) {
+      return feats_[static_cast<size_t>(a)].bytes > feats_[static_cast<size_t>(b)].bytes;
     });
     for (int slot = 0; slot < kNumBufferSlots; ++slot) {
-      if (slot < static_cast<int>(sorted.size())) {
-        const BufferFeat& bf = sorted[static_cast<size_t>(slot)].second;
-        row.push_back(bf.access_type == 1 ? 1.0f : 0.0f);
-        row.push_back(bf.access_type == 2 ? 1.0f : 0.0f);
-        row.push_back(bf.access_type == 3 ? 1.0f : 0.0f);
-        row.push_back(static_cast<float>(Log2p1(bf.bytes)));
-        row.push_back(static_cast<float>(Log2p1(bf.unique_bytes)));
-        row.push_back(static_cast<float>(Log2p1(bf.lines)));
-        row.push_back(static_cast<float>(Log2p1(bf.unique_lines)));
+      if (slot < static_cast<int>(order_.size())) {
+        const BufferFeat& bf = feats_[static_cast<size_t>(order_[static_cast<size_t>(slot)])];
+        PushRaw(bf.access_type == 1 ? 1.0f : 0.0f);
+        PushRaw(bf.access_type == 2 ? 1.0f : 0.0f);
+        PushRaw(bf.access_type == 3 ? 1.0f : 0.0f);
+        Push(Log2p1(bf.bytes));
+        Push(Log2p1(bf.unique_bytes));
+        Push(Log2p1(bf.lines));
+        Push(Log2p1(bf.unique_lines));
         for (int r = 0; r < kNumReuseTypes; ++r) {
-          row.push_back(r == bf.reuse_type ? 1.0f : 0.0f);
+          PushRaw(r == bf.reuse_type ? 1.0f : 0.0f);
         }
-        row.push_back(static_cast<float>(Log2p1(bf.reuse_distance_iters)));
-        row.push_back(static_cast<float>(Log2p1(bf.reuse_distance_bytes)));
-        row.push_back(static_cast<float>(Log2p1(bf.reuse_counter)));
-        row.push_back(static_cast<float>(Log2p1(bf.stride)));
+        Push(Log2p1(bf.reuse_distance_iters));
+        Push(Log2p1(bf.reuse_distance_bytes));
+        Push(Log2p1(bf.reuse_counter));
+        Push(Log2p1(bf.stride));
         double rc = std::max(1.0, bf.reuse_counter);
-        row.push_back(static_cast<float>(Log2p1(bf.bytes / rc)));
-        row.push_back(static_cast<float>(Log2p1(bf.unique_bytes / rc)));
-        row.push_back(static_cast<float>(Log2p1(bf.lines / rc)));
-        row.push_back(static_cast<float>(Log2p1(bf.unique_lines / rc)));
+        Push(Log2p1(bf.bytes / rc));
+        Push(Log2p1(bf.unique_bytes / rc));
+        Push(Log2p1(bf.lines / rc));
+        Push(Log2p1(bf.unique_lines / rc));
       } else {
         for (int z = 0; z < 18; ++z) {
-          row.push_back(0.0f);
+          PushRaw(0.0f);
         }
       }
     }
 
     // 8. Allocation features: output buffer size, number of allocations.
-    row.push_back(static_cast<float>(
-        Log2p1(static_cast<double>(store.buffer->NumElements()) * kBytesPerElement)));
-    row.push_back(static_cast<float>(Log2p1(static_cast<double>(program_.buffers.size()))));
+    Push(Log2p1(static_cast<double>(store.buffer->NumElements()) * kBytesPerElement));
+    Push(Log2p1(static_cast<double>(program_.buffers.size())));
 
     // 9. Other: number of outer loops, product of their lengths,
     //    auto_unroll_max_step, reduction flag, buffer count, output rank.
-    row.push_back(static_cast<float>(static_cast<double>(depth)));
-    row.push_back(static_cast<float>(Log2p1(iters)));
-    row.push_back(static_cast<float>(Log2p1(static_cast<double>(store.auto_unroll_max_step))));
-    row.push_back(store.is_accumulate ? 1.0f : 0.0f);
-    row.push_back(static_cast<float>(static_cast<double>(buffer_feats.size())));
-    row.push_back(static_cast<float>(static_cast<double>(store.indices.size())));
+    Push(static_cast<double>(depth));
+    Push(Log2p1(iters));
+    Push(Log2p1(static_cast<double>(store.auto_unroll_max_step)));
+    PushRaw(store.is_accumulate ? 1.0f : 0.0f);
+    Push(static_cast<double>(feats_.size()));
+    Push(static_cast<double>(store.indices.size()));
 
-    CHECK_EQ(row.size(), FeatureDim());
-    return row;
+    CHECK_EQ(idx_, FeatureDim());
   }
 
   const LoweredProgram& program_;
-  std::vector<std::string>* row_stages_;
+  FeatureMatrix matrix_;
   std::vector<LoopInfo> stack_;
-  std::vector<std::vector<float>> rows_;
+
+  // Row cursor into the matrix row under construction.
+  float* out_ = nullptr;
+  size_t idx_ = 0;
+
+  // Program-lifetime buffer intern table (id = index).
+  std::vector<const Buffer*> interned_;
+
+  // Scratch reused across rows (capacity persists).
+  std::unordered_map<int64_t, int64_t> extents_;
+  std::vector<AccessPattern> accesses_;
+  std::vector<double> strides_;      // n_acc x depth
+  std::vector<double> suffix_;       // n_acc x (depth + 1)
+  std::vector<double> iter_suffix_;  // depth + 1
+  std::vector<double> intensity_;
+  std::vector<BufferFeat> feats_;
+  std::vector<int> order_;
 };
 
 std::vector<std::string> BuildFeatureNames() {
@@ -442,18 +502,17 @@ const std::vector<std::string>& FeatureNames() {
 
 size_t FeatureDim() { return FeatureNames().size(); }
 
-std::vector<std::vector<float>> ExtractFeatures(const LoweredProgram& program,
-                                                std::vector<std::string>* row_stages) {
+FeatureMatrix ExtractFeatures(const LoweredProgram& program) {
   if (!program.ok) {
-    return {};
+    return FeatureMatrix();
   }
-  return FeatureBuilder(program, row_stages).Run();
+  return FeatureBuilder(program).Run();
 }
 
-std::vector<std::vector<float>> ExtractStateFeatures(const State& state) {
+FeatureMatrix ExtractStateFeatures(const State& state) {
   LoweredProgram program = Lower(state);
   if (!program.ok) {
-    return {};
+    return FeatureMatrix();
   }
   return ExtractFeatures(program);
 }

@@ -10,11 +10,19 @@
 // curve, per-buffer access features for up to five buffers, allocation
 // features and outer-loop context. Size-like features are log2(1+x)
 // transformed. The total dimension is 164, as in the paper.
+//
+// Rows are returned as one contiguous row-major FeatureMatrix (stride
+// FeatureDim(), stage names attached per row) and are extracted with reused
+// scratch buffers — no per-statement vector or hash-map allocations — so the
+// evolution loop can score thousands of candidates per second against the
+// matrices cached on their ProgramArtifacts.
 #ifndef ANSOR_SRC_FEATURES_FEATURE_EXTRACTION_H_
 #define ANSOR_SRC_FEATURES_FEATURE_EXTRACTION_H_
 
+#include <string>
 #include <vector>
 
+#include "src/features/feature_matrix.h"
 #include "src/lower/loop_tree.h"
 
 namespace ansor {
@@ -26,14 +34,12 @@ size_t FeatureDim();
 const std::vector<std::string>& FeatureNames();
 
 // One row per innermost store statement of the program (init stores
-// included: they are real work). Programs that fail to lower produce no rows.
-// When `row_stages` is non-null it receives the owning stage name of each row
-// (used by node-based crossover to score per-node rewriting steps).
-std::vector<std::vector<float>> ExtractFeatures(const LoweredProgram& program,
-                                                std::vector<std::string>* row_stages = nullptr);
+// included: they are real work), with the owning stage name attached to each
+// row. Programs that fail to lower produce an empty matrix.
+FeatureMatrix ExtractFeatures(const LoweredProgram& program);
 
-// Convenience: lowers the state first. Returns empty on lowering failure.
-std::vector<std::vector<float>> ExtractStateFeatures(const State& state);
+// Convenience: lowers the state first. Empty matrix on lowering failure.
+FeatureMatrix ExtractStateFeatures(const State& state);
 
 }  // namespace ansor
 

@@ -1,0 +1,69 @@
+#include "src/features/feature_matrix.h"
+
+#include <cstring>
+
+#include "src/support/logging.h"
+
+namespace ansor {
+
+void FeatureMatrix::Reserve(size_t n_rows) {
+  data_.reserve(n_rows * dim_);
+  row_stages_.reserve(n_rows);
+}
+
+float* FeatureMatrix::AddRow(std::string stage) {
+  CHECK_GT(dim_, 0u);
+  data_.resize(data_.size() + dim_, 0.0f);
+  row_stages_.push_back(std::move(stage));
+  return data_.data() + data_.size() - dim_;
+}
+
+void FeatureMatrix::AppendRow(const std::vector<float>& values, std::string stage) {
+  AppendRow(values.data(), values.size(), std::move(stage));
+}
+
+void FeatureMatrix::AppendRow(const float* values, size_t n, std::string stage) {
+  if (dim_ == 0 && data_.empty()) {
+    dim_ = n;
+  }
+  CHECK_EQ(n, dim_);
+  CHECK_GT(n, 0u);
+  data_.insert(data_.end(), values, values + n);
+  row_stages_.push_back(std::move(stage));
+}
+
+void FeatureMatrix::AppendMatrix(const FeatureMatrix& other) {
+  if (other.empty()) {
+    return;
+  }
+  if (dim_ == 0 && data_.empty()) {
+    dim_ = other.dim_;
+  }
+  CHECK_EQ(other.dim_, dim_);
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  row_stages_.insert(row_stages_.end(), other.row_stages_.begin(), other.row_stages_.end());
+}
+
+void FeatureMatrix::Clear() {
+  data_.clear();
+  row_stages_.clear();
+}
+
+std::vector<std::vector<float>> FeatureMatrix::ToRows() const {
+  std::vector<std::vector<float>> out;
+  out.reserve(rows());
+  for (size_t r = 0; r < rows(); ++r) {
+    out.emplace_back(row(r), row(r) + dim_);
+  }
+  return out;
+}
+
+FeatureMatrix FeatureMatrix::FromRows(const std::vector<std::vector<float>>& rows) {
+  FeatureMatrix m;
+  for (const auto& r : rows) {
+    m.AppendRow(r);
+  }
+  return m;
+}
+
+}  // namespace ansor

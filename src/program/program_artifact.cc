@@ -10,7 +10,7 @@ ProgramArtifact::ProgramArtifact(const State& state)
 ProgramArtifact::ProgramArtifact(const State& state, std::string signature)
     : signature_(std::move(signature)), lowered_(Lower(state)) {
   if (lowered_.ok) {
-    features_ = ExtractFeatures(lowered_, &row_stages_);
+    features_ = ExtractFeatures(lowered_);
   }
   verifier_report_ = VerifyProgram(state, lowered_);
 }

@@ -60,10 +60,11 @@ class ProgramArtifact {
   // The state's StepSignature — the content address within one DAG.
   const std::string& signature() const { return signature_; }
   const LoweredProgram& lowered() const { return lowered_; }
-  // One row per innermost store statement; empty when ok() is false.
-  const std::vector<std::vector<float>>& features() const { return features_; }
+  // Flat feature matrix, one row per innermost store statement (with its
+  // owning stage name attached); empty when ok() is false.
+  const FeatureMatrix& features() const { return features_; }
   // Owning stage name of each feature row (node-based crossover scoring).
-  const std::vector<std::string>& row_stages() const { return row_stages_; }
+  const std::vector<std::string>& row_stages() const { return features_.row_stages(); }
 
   // The static verifier's machine-independent report (lowering, buffer
   // bounds, iterator domains, def-before-use), computed once at construction
@@ -93,8 +94,7 @@ class ProgramArtifact {
  private:
   std::string signature_;
   LoweredProgram lowered_;
-  std::vector<std::vector<float>> features_;
-  std::vector<std::string> row_stages_;
+  FeatureMatrix features_;
   VerifierReport verifier_report_;
 
   mutable std::mutex scores_mu_;

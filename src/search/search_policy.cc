@@ -160,12 +160,12 @@ double TaskTuner::CommitRound(PlannedRound round, const std::vector<MeasureResul
   // permanently blacklist the program. Invalid results are tallied per
   // signature and blacklist only after max_invalid_measures attempts.
   ExtractFeatures(&round);
-  std::vector<std::vector<std::vector<float>>>& features = round.features;
+  std::vector<FeatureMatrix>& features = round.features;
   std::vector<double> throughputs(round.to_measure.size(), 0.0);
   for (size_t i = 0; i < round.to_measure.size(); ++i) {
     if (results[i].cancelled) {
       // Never started: not a failure, not a training sample, retryable later.
-      features[i].clear();
+      features[i].Clear();
       continue;
     }
     if (!results[i].valid) {
@@ -176,7 +176,7 @@ double TaskTuner::CommitRound(PlannedRound round, const std::vector<MeasureResul
       // threshold the program is confirmed deterministically bad: train the
       // zero-throughput sample so the model steers away from its family.
       if (failures < options_.max_invalid_measures) {
-        features[i].clear();
+        features[i].Clear();
       }
       continue;
     }

@@ -119,7 +119,7 @@ struct PlannedRound {
   // artifacts. Filled by ExtractFeatures (overlappable with measurement);
   // CommitRound extracts them itself when left empty. Pure function of
   // to_measure, so when it runs does not affect results.
-  std::vector<std::vector<std::vector<float>>> features;
+  std::vector<FeatureMatrix> features;
 };
 
 // Per-task tuner holding search state across rounds so the task scheduler can

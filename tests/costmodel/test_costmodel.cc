@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 
 #include "src/costmodel/cost_model.h"
 #include "src/costmodel/gbdt.h"
@@ -21,7 +22,7 @@ GbdtDataset MakeSyntheticDataset(int n_programs, int rows_per_program, Rng* rng)
         v = static_cast<float>(rng->Uniform());
       }
       label += 0.6 * row[0] + 0.4 * row[3];
-      data.rows.push_back(std::move(row));
+      data.rows.AppendRow(row);
       data.group.push_back(p);
     }
     label /= rows_per_program;
@@ -29,6 +30,11 @@ GbdtDataset MakeSyntheticDataset(int n_programs, int rows_per_program, Rng* rng)
     data.weights.push_back(std::max(label, 0.1));
   }
   return data;
+}
+
+// One single-row program as a FeatureMatrix.
+FeatureMatrix OneRowProgram(const std::vector<float>& row) {
+  return FeatureMatrix::FromRows({row});
 }
 
 TEST(Gbdt, LearnsSyntheticFunction) {
@@ -44,8 +50,8 @@ TEST(Gbdt, LearnsSyntheticFunction) {
   size_t row = 0;
   for (int p = 0; p < test.num_programs(); ++p) {
     std::vector<std::vector<float>> rows;
-    while (row < test.rows.size() && test.group[row] == p) {
-      rows.push_back(test.rows[row]);
+    while (row < test.rows.rows() && test.group[row] == p) {
+      rows.emplace_back(test.rows.row(row), test.rows.row(row) + test.rows.dim());
       ++row;
     }
     preds.push_back(model.PredictProgram(rows));
@@ -73,7 +79,7 @@ TEST(Gbdt, WeightedLossPrioritizesFastPrograms) {
     std::vector<float> row(4, 0.0f);
     row[0] = static_cast<float>(rng.Uniform());
     double label = 0.7 + 0.3 * row[0];  // fast cluster
-    data.rows.push_back(row);
+    data.rows.AppendRow(row);
     data.group.push_back(p);
     data.labels.push_back(label);
     data.weights.push_back(label);
@@ -88,10 +94,43 @@ TEST(Gbdt, WeightedLossPrioritizesFastPrograms) {
   EXPECT_GT(model.PredictProgram({hi}), model.PredictProgram({lo}));
 }
 
+TEST(Gbdt, BatchedForestMatchesScalarBitExact) {
+  // The compiled SoA forest must reproduce the scalar per-row tree walk bit
+  // for bit: leaf values are pre-scaled by the same double product and
+  // accumulated in the same tree order, so EXPECT_EQ (not NEAR) is correct.
+  Rng rng(7);
+  GbdtDataset train = MakeSyntheticDataset(120, 3, &rng);
+  Gbdt model;
+  model.Train(train);
+  ASSERT_TRUE(model.trained());
+
+  GbdtDataset test = MakeSyntheticDataset(50, 3, &rng);
+  std::vector<const float*> ptrs;
+  for (size_t r = 0; r < test.rows.rows(); ++r) {
+    ptrs.push_back(test.rows.row(r));
+  }
+  std::vector<double> batched(ptrs.size());
+  model.PredictStatementRows(ptrs.data(), ptrs.size(), batched.data());
+  for (size_t r = 0; r < ptrs.size(); ++r) {
+    EXPECT_EQ(batched[r], model.PredictRow(ptrs[r])) << "row " << r;
+  }
+}
+
+TEST(Gbdt, MaxBinsOutOfRangeDies) {
+  // Bin indices are uint8_t; max_bins outside [2, 256] would silently wrap.
+  Rng rng(1);
+  GbdtDataset data = MakeSyntheticDataset(10, 1, &rng);
+  GbdtParams params;
+  params.max_bins = 300;
+  EXPECT_DEATH(Gbdt(params).Train(data), "max_bins");
+  params.max_bins = 1;
+  EXPECT_DEATH(Gbdt(params).Train(data), "max_bins");
+}
+
 TEST(CostModelTest, GbdtModelRanksAfterUpdate) {
   Rng rng(5);
   GbdtCostModel model;
-  std::vector<std::vector<std::vector<float>>> programs;
+  std::vector<FeatureMatrix> programs;
   std::vector<double> throughputs;
   for (int i = 0; i < 120; ++i) {
     std::vector<float> row(static_cast<size_t>(6), 0.0f);
@@ -99,7 +138,7 @@ TEST(CostModelTest, GbdtModelRanksAfterUpdate) {
       v = static_cast<float>(rng.Uniform());
     }
     throughputs.push_back(1e9 * (0.2 + row[2]));
-    programs.push_back({row});
+    programs.push_back(OneRowProgram(row));
   }
   model.Update(/*task_id=*/1, programs, throughputs);
   EXPECT_EQ(model.num_samples(), 120u);
@@ -109,7 +148,10 @@ TEST(CostModelTest, GbdtModelRanksAfterUpdate) {
 
 TEST(CostModelTest, InvalidProgramsScoreLowest) {
   GbdtCostModel model;
-  auto preds = model.Predict({{}, {std::vector<float>(4, 1.0f)}});
+  std::vector<FeatureMatrix> programs;
+  programs.emplace_back();  // failed lowering: empty matrix
+  programs.push_back(OneRowProgram(std::vector<float>(4, 1.0f)));
+  auto preds = model.Predict(programs);
   EXPECT_LT(preds[0], preds[1]);
 }
 
@@ -119,14 +161,14 @@ TEST(CostModelTest, NormalizationAcrossTasks) {
   Rng rng(9);
   GbdtCostModel model;
   for (uint64_t task = 0; task < 2; ++task) {
-    std::vector<std::vector<std::vector<float>>> programs;
+    std::vector<FeatureMatrix> programs;
     std::vector<double> throughputs;
     double scale = task == 0 ? 1e12 : 1e6;
     for (int i = 0; i < 60; ++i) {
       std::vector<float> row(static_cast<size_t>(6), 0.0f);
       row[1] = static_cast<float>(rng.Uniform());
       throughputs.push_back(scale * (0.1 + row[1]));
-      programs.push_back({row});
+      programs.push_back(OneRowProgram(row));
     }
     model.Update(task, programs, throughputs);
   }
@@ -135,15 +177,104 @@ TEST(CostModelTest, NormalizationAcrossTasks) {
   hi[1] = 0.9f;
   std::vector<float> lo(6, 0.0f);
   lo[1] = 0.1f;
-  auto preds = model.Predict({{hi}, {lo}});
+  std::vector<FeatureMatrix> probe;
+  probe.push_back(OneRowProgram(hi));
+  probe.push_back(OneRowProgram(lo));
+  auto preds = model.Predict(probe);
   EXPECT_GT(preds[0], preds[1]);
+}
+
+TEST(CostModelTest, BatchedPredictionsMatchUnbatched) {
+  // PredictBatch gathers rows from every program into one forest pass; the
+  // per-program sums must equal the one-at-a-time path bit for bit (the
+  // determinism matrix depends on batched == unbatched).
+  Rng rng(21);
+  GbdtCostModel model;
+  std::vector<FeatureMatrix> programs;
+  std::vector<double> throughputs;
+  for (int i = 0; i < 80; ++i) {
+    std::vector<std::vector<float>> rows;
+    for (int r = 0; r < 1 + i % 3; ++r) {
+      std::vector<float> row(6, 0.0f);
+      for (auto& v : row) {
+        v = static_cast<float>(rng.Uniform());
+      }
+      rows.push_back(std::move(row));
+    }
+    programs.push_back(FeatureMatrix::FromRows(rows));
+    throughputs.push_back(1e9 * rng.Uniform());
+  }
+  model.Update(/*task_id=*/2, programs, throughputs);
+
+  std::vector<const FeatureMatrix*> ptrs;
+  for (const FeatureMatrix& m : programs) {
+    ptrs.push_back(&m);
+  }
+  std::vector<double> batched = model.PredictBatch(ptrs);
+  for (size_t p = 0; p < programs.size(); ++p) {
+    std::vector<double> single = model.PredictBatch({ptrs[p]});
+    EXPECT_EQ(batched[p], single[0]) << "program " << p;
+  }
+  // Statement-level batch agrees with the per-program form.
+  std::vector<std::vector<double>> stmt_batch = model.PredictStatementsBatch(ptrs);
+  for (size_t p = 0; p < programs.size(); ++p) {
+    EXPECT_EQ(stmt_batch[p], model.PredictStatements(programs[p])) << "program " << p;
+  }
+}
+
+TEST(CostModelTest, ConcurrentPredictBatchIsSafe) {
+  // Prediction is read-only on the trained model: concurrent PredictBatch /
+  // PredictStatementsBatch calls from several threads must race-free agree
+  // with the serial result (run under tsan in CI).
+  Rng rng(17);
+  GbdtCostModel model;
+  std::vector<FeatureMatrix> programs;
+  std::vector<double> throughputs;
+  for (int i = 0; i < 60; ++i) {
+    std::vector<float> row(6, 0.0f);
+    for (auto& v : row) {
+      v = static_cast<float>(rng.Uniform());
+    }
+    programs.push_back(OneRowProgram(row));
+    throughputs.push_back(1e9 * (0.1 + rng.Uniform()));
+  }
+  model.Update(/*task_id=*/3, programs, throughputs);
+
+  std::vector<const FeatureMatrix*> ptrs;
+  for (const FeatureMatrix& m : programs) {
+    ptrs.push_back(&m);
+  }
+  std::vector<double> expected = model.PredictBatch(ptrs);
+  std::vector<std::vector<double>> expected_stmt = model.PredictStatementsBatch(ptrs);
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  std::vector<char> ok(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      bool agree = true;
+      for (int iter = 0; iter < 8; ++iter) {
+        agree = agree && model.PredictBatch(ptrs) == expected;
+        agree = agree && model.PredictStatementsBatch(ptrs) == expected_stmt;
+      }
+      ok[static_cast<size_t>(t)] = agree ? 1 : 0;
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(ok[static_cast<size_t>(t)], 1) << "thread " << t;
+  }
 }
 
 TEST(CostModelTest, RandomModelIsUniform) {
   RandomCostModel model(1);
-  auto preds = model.Predict({{std::vector<float>(4, 0.0f)},
-                              {std::vector<float>(4, 0.0f)},
-                              {}});
+  std::vector<FeatureMatrix> programs;
+  programs.push_back(OneRowProgram(std::vector<float>(4, 0.0f)));
+  programs.push_back(OneRowProgram(std::vector<float>(4, 0.0f)));
+  programs.emplace_back();
+  auto preds = model.Predict(programs);
   EXPECT_NE(preds[0], preds[1]);
   EXPECT_LT(preds[2], 0.0);  // invalid program
 }

@@ -149,7 +149,7 @@ TEST(Evolution, EvolveImprovesPredictedFitness) {
   // Train the model on the initial population's simulated throughput.
   Measurer measurer(MachineModel::IntelCpu20Core());
   GbdtCostModel model;
-  std::vector<std::vector<std::vector<float>>> features;
+  std::vector<FeatureMatrix> features;
   std::vector<double> throughputs;
   for (const State& s : init) {
     features.push_back(ExtractStateFeatures(s));

@@ -1,0 +1,92 @@
+// Golden feature-vector regression test: bit-exact expected rows for known
+// lowered programs, checked feature-by-feature against the extractor.
+//
+// Purpose: pin the extractor's exact numeric semantics so performance
+// rewrites of the scoring data path are provably semantics-preserving. The
+// expected values were produced by the extractor itself (hex-float literals
+// round-trip exactly); any behavior change — intended or not — must
+// regenerate them consciously and show up in review as a value diff.
+//
+// Regenerate: print each row as {name, value} pairs of the non-zero
+// features with "%a" formatting (see the harness below for the layout).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/features/feature_extraction.h"
+#include "tests/testing.h"
+
+namespace ansor {
+namespace {
+
+struct GoldenRow {
+  const char* stage;
+  // Non-zero features by name; everything absent must be exactly 0.0f.
+  std::vector<std::pair<const char*, float>> nonzero;
+};
+
+void ExpectGolden(const State& state, const std::vector<GoldenRow>& expect) {
+  FeatureMatrix m = ExtractFeatures(Lower(state));
+  ASSERT_EQ(m.rows(), expect.size());
+  ASSERT_EQ(m.dim(), FeatureDim());
+  const std::vector<std::string>& names = FeatureNames();
+  std::unordered_map<std::string, size_t> index;
+  for (size_t f = 0; f < names.size(); ++f) {
+    index[names[f]] = f;
+  }
+  for (size_t r = 0; r < m.rows(); ++r) {
+    EXPECT_EQ(m.row_stage(r), expect[r].stage) << "row " << r;
+    std::vector<float> want(FeatureDim(), 0.0f);
+    for (const auto& [name, value] : expect[r].nonzero) {
+      auto it = index.find(name);
+      ASSERT_NE(it, index.end()) << "unknown feature name " << name;
+      want[it->second] = value;
+    }
+    for (size_t f = 0; f < FeatureDim(); ++f) {
+      // Bit-exact: these are regression values from this extractor, not
+      // approximations of an external reference.
+      EXPECT_EQ(m.at(r, f), want[f]) << "row " << r << " feature " << names[f];
+    }
+  }
+}
+
+TEST(FeatureGolden, MatmulDefault) {
+  ComputeDAG dag = testing::Matmul(8, 8, 8);
+  State state(&dag);
+  ExpectGolden(state, {
+      {"C", {{"vec.pos_none", 0x1p+0f}, {"unroll.pos_none", 0x1p+0f}, {"parallel.pos_none", 0x1p+0f}, {"intensity.0", 0x1.5c01a4p-3f}, {"intensity.1", 0x1.5c01a4p-3f}, {"intensity.2", 0x1.5c01a4p-3f}, {"intensity.3", 0x1.5c01a4p-3f}, {"intensity.4", 0x1.5c01a4p-3f}, {"intensity.5", 0x1.5c01a4p-3f}, {"intensity.6", 0x1.5c01a4p-3f}, {"intensity.7", 0x1.5c01a4p-3f}, {"intensity.8", 0x1.5c01a4p-3f}, {"intensity.9", 0x1.5c01a4p-3f}, {"buf0.write", 0x1p+0f}, {"buf0.bytes", 0x1.002e14p+3f}, {"buf0.unique_bytes", 0x1.002e14p+3f}, {"buf0.lines", 0x1.2934fp+1f}, {"buf0.unique_lines", 0x1.2934fp+1f}, {"buf0.reuse_none", 0x1p+0f}, {"buf0.reuse_counter", 0x1p+0f}, {"buf0.stride", 0x1p+0f}, {"buf0.bytes_per_reuse", 0x1.002e14p+3f}, {"buf0.unique_bytes_per_reuse", 0x1.002e14p+3f}, {"buf0.lines_per_reuse", 0x1.2934fp+1f}, {"buf0.unique_lines_per_reuse", 0x1.2934fp+1f}, {"alloc.output_bytes", 0x1.002e14p+3f}, {"alloc.count", 0x1p+1f}, {"outer_loops", 0x1p+1f}, {"iters", 0x1.816e7ap+2f}, {"num_buffers", 0x1p+0f}, {"output_rank", 0x1p+1f}}},
+      {"C", {{"f_add", 0x1.20171p+3f}, {"f_mul", 0x1.20171p+3f}, {"vec.pos_none", 0x1p+0f}, {"unroll.pos_none", 0x1p+0f}, {"parallel.pos_none", 0x1p+0f}, {"intensity.0", 0x1.79538ep-1f}, {"intensity.1", 0x1.49df8ap-1f}, {"intensity.2", 0x1.172934p-1f}, {"intensity.3", 0x1.c16adep-2f}, {"intensity.4", 0x1.4bd764p-2f}, {"intensity.5", 0x1.020a02p-2f}, {"intensity.6", 0x1.d651dp-3f}, {"intensity.7", 0x1.a7d756p-3f}, {"intensity.8", 0x1.789ebp-3f}, {"intensity.9", 0x1.48a1b4p-3f}, {"buf0.read", 0x1p+0f}, {"buf0.bytes", 0x1.6005c4p+3f}, {"buf0.unique_bytes", 0x1.002e14p+3f}, {"buf0.lines", 0x1.42d75ap+2f}, {"buf0.unique_lines", 0x1.2934fp+1f}, {"buf0.reuse_loop", 0x1p+0f}, {"buf0.reuse_dist_iters", 0x1.95c01ap+1f}, {"buf0.reuse_dist_bytes", 0x1.42d75ap+2f}, {"buf0.reuse_counter", 0x1.95c01ap+1f}, {"buf0.stride", 0x1p+0f}, {"buf0.bytes_per_reuse", 0x1.002e14p+3f}, {"buf0.unique_bytes_per_reuse", 0x1.42d75ap+2f}, {"buf0.lines_per_reuse", 0x1.2934fp+1f}, {"buf0.unique_lines_per_reuse", 0x1.2b8034p-1f}, {"buf1.read", 0x1p+0f}, {"buf1.bytes", 0x1.6005c4p+3f}, {"buf1.unique_bytes", 0x1.002e14p+3f}, {"buf1.lines", 0x1.20171p+3f}, {"buf1.unique_lines", 0x1.95c01ap+1f}, {"buf1.reuse_loop", 0x1p+0f}, {"buf1.reuse_dist_iters", 0x1.816e7ap+2f}, {"buf1.reuse_dist_bytes", 0x1.002e14p+3f}, {"buf1.reuse_counter", 0x1.95c01ap+1f}, {"buf1.stride", 0x1.95c01ap+1f}, {"buf1.bytes_per_reuse", 0x1.002e14p+3f}, {"buf1.unique_bytes_per_reuse", 0x1.42d75ap+2f}, {"buf1.lines_per_reuse", 0x1.816e7ap+2f}, {"buf1.unique_lines_per_reuse", 0x1p+0f}, {"buf2.write", 0x1p+0f}, {"buf2.bytes", 0x1.6005c4p+3f}, {"buf2.unique_bytes", 0x1.002e14p+3f}, {"buf2.lines", 0x1.42d75ap+2f}, {"buf2.unique_lines", 0x1.816e7ap+2f}, {"buf2.reuse_loop", 0x1p+0f}, {"buf2.reuse_dist_iters", 0x1p+0f}, {"buf2.reuse_dist_bytes", 0x1.2934fp+1f}, {"buf2.reuse_counter", 0x1.95c01ap+1f}, {"buf2.bytes_per_reuse", 0x1.002e14p+3f}, {"buf2.unique_bytes_per_reuse", 0x1.42d75ap+2f}, {"buf2.lines_per_reuse", 0x1.2934fp+1f}, {"buf2.unique_lines_per_reuse", 0x1.95c01ap+1f}, {"alloc.output_bytes", 0x1.002e14p+3f}, {"alloc.count", 0x1p+1f}, {"outer_loops", 0x1.8p+1f}, {"iters", 0x1.20171p+3f}, {"is_reduction", 0x1p+0f}, {"num_buffers", 0x1.8p+1f}, {"output_rank", 0x1p+1f}}},
+  });
+}
+
+TEST(FeatureGolden, MatmulReluScheduled) {
+  ComputeDAG dag = testing::MatmulRelu(8, 8, 8);
+  State state(&dag);
+  ASSERT_TRUE(state.Split("C", 0, {4}));
+  ASSERT_TRUE(state.Annotate("C", 0, IterAnnotation::kParallel));
+  ASSERT_TRUE(state.Annotate("C", 3, IterAnnotation::kUnroll));
+  ASSERT_TRUE(state.Annotate("D", 1, IterAnnotation::kVectorize));
+  ASSERT_TRUE(state.Pragma("C", 16));
+  ExpectGolden(state, {
+      {"C", {{"vec.pos_none", 0x1p+0f}, {"unroll.pos_none", 0x1p+0f}, {"parallel.innermost_len", 0x1.95c01ap+0f}, {"parallel.pos_outer_s", 0x1p+0f}, {"parallel.product", 0x1.95c01ap+0f}, {"parallel.count", 0x1p+0f}, {"intensity.0", 0x1.5c01a4p-3f}, {"intensity.1", 0x1.5c01a4p-3f}, {"intensity.2", 0x1.5c01a4p-3f}, {"intensity.3", 0x1.5c01a4p-3f}, {"intensity.4", 0x1.5c01a4p-3f}, {"intensity.5", 0x1.5c01a4p-3f}, {"intensity.6", 0x1.5c01a4p-3f}, {"intensity.7", 0x1.5c01a4p-3f}, {"intensity.8", 0x1.5c01a4p-3f}, {"intensity.9", 0x1.5c01a4p-3f}, {"buf0.write", 0x1p+0f}, {"buf0.bytes", 0x1.002e14p+3f}, {"buf0.unique_bytes", 0x1.002e14p+3f}, {"buf0.lines", 0x1.2934fp+1f}, {"buf0.unique_lines", 0x1.2934fp+1f}, {"buf0.reuse_none", 0x1p+0f}, {"buf0.reuse_counter", 0x1p+0f}, {"buf0.stride", 0x1p+0f}, {"buf0.bytes_per_reuse", 0x1.002e14p+3f}, {"buf0.unique_bytes_per_reuse", 0x1.002e14p+3f}, {"buf0.lines_per_reuse", 0x1.2934fp+1f}, {"buf0.unique_lines_per_reuse", 0x1.2934fp+1f}, {"alloc.output_bytes", 0x1.002e14p+3f}, {"alloc.count", 0x1.2934fp+1f}, {"outer_loops", 0x1.8p+1f}, {"iters", 0x1.816e7ap+2f}, {"num_buffers", 0x1p+0f}, {"output_rank", 0x1p+1f}}},
+      {"C", {{"f_add", 0x1.20171p+3f}, {"f_mul", 0x1.20171p+3f}, {"i_add", 0x1.20171p+3f}, {"i_mul", 0x1.20171p+3f}, {"vec.pos_none", 0x1p+0f}, {"unroll.innermost_len", 0x1.95c01ap+1f}, {"unroll.pos_inner_r", 0x1p+0f}, {"unroll.product", 0x1.95c01ap+1f}, {"unroll.count", 0x1p+0f}, {"parallel.innermost_len", 0x1.95c01ap+0f}, {"parallel.pos_outer_s", 0x1p+0f}, {"parallel.product", 0x1.95c01ap+0f}, {"parallel.count", 0x1p+0f}, {"intensity.0", 0x1.79538ep-1f}, {"intensity.1", 0x1.6048ep-1f}, {"intensity.2", 0x1.465d36p-1f}, {"intensity.3", 0x1.2b8034p-1f}, {"intensity.4", 0x1.f113bap-2f}, {"intensity.5", 0x1.83988ep-2f}, {"intensity.6", 0x1.0d58e4p-2f}, {"intensity.7", 0x1.d651dp-3f}, {"intensity.8", 0x1.90532ap-3f}, {"intensity.9", 0x1.48a1b4p-3f}, {"buf0.read", 0x1p+0f}, {"buf0.bytes", 0x1.6005c4p+3f}, {"buf0.unique_bytes", 0x1.002e14p+3f}, {"buf0.lines", 0x1.42d75ap+2f}, {"buf0.unique_lines", 0x1.2934fp+1f}, {"buf0.reuse_loop", 0x1p+0f}, {"buf0.reuse_dist_iters", 0x1.95c01ap+1f}, {"buf0.reuse_dist_bytes", 0x1.42d75ap+2f}, {"buf0.reuse_counter", 0x1.95c01ap+1f}, {"buf0.stride", 0x1p+0f}, {"buf0.bytes_per_reuse", 0x1.002e14p+3f}, {"buf0.unique_bytes_per_reuse", 0x1.42d75ap+2f}, {"buf0.lines_per_reuse", 0x1.2934fp+1f}, {"buf0.unique_lines_per_reuse", 0x1.2b8034p-1f}, {"buf1.read", 0x1p+0f}, {"buf1.bytes", 0x1.6005c4p+3f}, {"buf1.unique_bytes", 0x1.002e14p+3f}, {"buf1.lines", 0x1.20171p+3f}, {"buf1.unique_lines", 0x1.95c01ap+1f}, {"buf1.reuse_loop", 0x1p+0f}, {"buf1.reuse_dist_iters", 0x1.816e7ap+2f}, {"buf1.reuse_dist_bytes", 0x1.002e14p+3f}, {"buf1.reuse_counter", 0x1.2934fp+1f}, {"buf1.stride", 0x1.95c01ap+1f}, {"buf1.bytes_per_reuse", 0x1.20171p+3f}, {"buf1.unique_bytes_per_reuse", 0x1.816e7ap+2f}, {"buf1.lines_per_reuse", 0x1.c0b7f2p+2f}, {"buf1.unique_lines_per_reuse", 0x1.95c01ap+0f}, {"buf2.write", 0x1p+0f}, {"buf2.bytes", 0x1.6005c4p+3f}, {"buf2.unique_bytes", 0x1.002e14p+3f}, {"buf2.lines", 0x1.42d75ap+2f}, {"buf2.unique_lines", 0x1.816e7ap+2f}, {"buf2.reuse_loop", 0x1p+0f}, {"buf2.reuse_dist_iters", 0x1p+0f}, {"buf2.reuse_dist_bytes", 0x1.2934fp+1f}, {"buf2.reuse_counter", 0x1.95c01ap+1f}, {"buf2.bytes_per_reuse", 0x1.002e14p+3f}, {"buf2.unique_bytes_per_reuse", 0x1.42d75ap+2f}, {"buf2.lines_per_reuse", 0x1.2934fp+1f}, {"buf2.unique_lines_per_reuse", 0x1.95c01ap+1f}, {"alloc.output_bytes", 0x1.002e14p+3f}, {"alloc.count", 0x1.2934fp+1f}, {"outer_loops", 0x1p+2f}, {"iters", 0x1.20171p+3f}, {"auto_unroll_max_step", 0x1.0598fep+2f}, {"is_reduction", 0x1p+0f}, {"num_buffers", 0x1.8p+1f}, {"output_rank", 0x1p+1f}}},
+      {"D", {{"f_other", 0x1.816e7ap+2f}, {"vec.innermost_len", 0x1.95c01ap+1f}, {"vec.pos_inner_s", 0x1p+0f}, {"vec.product", 0x1.95c01ap+1f}, {"vec.count", 0x1p+0f}, {"unroll.pos_none", 0x1p+0f}, {"parallel.pos_none", 0x1p+0f}, {"intensity.0", 0x1.5c01a4p-3f}, {"intensity.1", 0x1.5c01a4p-3f}, {"intensity.2", 0x1.5c01a4p-3f}, {"intensity.3", 0x1.5c01a4p-3f}, {"intensity.4", 0x1.5c01a4p-3f}, {"intensity.5", 0x1.5c01a4p-3f}, {"intensity.6", 0x1.5c01a4p-3f}, {"intensity.7", 0x1.5c01a4p-3f}, {"intensity.8", 0x1.5c01a4p-3f}, {"intensity.9", 0x1.5c01a4p-3f}, {"buf0.read", 0x1p+0f}, {"buf0.bytes", 0x1.002e14p+3f}, {"buf0.unique_bytes", 0x1.002e14p+3f}, {"buf0.lines", 0x1.2934fp+1f}, {"buf0.unique_lines", 0x1.2934fp+1f}, {"buf0.reuse_none", 0x1p+0f}, {"buf0.reuse_counter", 0x1p+0f}, {"buf0.stride", 0x1p+0f}, {"buf0.bytes_per_reuse", 0x1.002e14p+3f}, {"buf0.unique_bytes_per_reuse", 0x1.002e14p+3f}, {"buf0.lines_per_reuse", 0x1.2934fp+1f}, {"buf0.unique_lines_per_reuse", 0x1.2934fp+1f}, {"buf1.write", 0x1p+0f}, {"buf1.bytes", 0x1.002e14p+3f}, {"buf1.unique_bytes", 0x1.002e14p+3f}, {"buf1.lines", 0x1.2934fp+1f}, {"buf1.unique_lines", 0x1.2934fp+1f}, {"buf1.reuse_none", 0x1p+0f}, {"buf1.reuse_counter", 0x1p+0f}, {"buf1.stride", 0x1p+0f}, {"buf1.bytes_per_reuse", 0x1.002e14p+3f}, {"buf1.unique_bytes_per_reuse", 0x1.002e14p+3f}, {"buf1.lines_per_reuse", 0x1.2934fp+1f}, {"buf1.unique_lines_per_reuse", 0x1.2934fp+1f}, {"alloc.output_bytes", 0x1.002e14p+3f}, {"alloc.count", 0x1.2934fp+1f}, {"outer_loops", 0x1p+1f}, {"iters", 0x1.816e7ap+2f}, {"num_buffers", 0x1p+1f}, {"output_rank", 0x1p+1f}}},
+  });
+}
+
+TEST(FeatureGolden, ReluPadMatmulDefault) {
+  ComputeDAG dag = testing::ReluPadMatmul();
+  State state(&dag);
+  ExpectGolden(state, {
+      {"B", {{"f_other", 0x1.a664f8p+2f}, {"vec.pos_none", 0x1p+0f}, {"unroll.pos_none", 0x1p+0f}, {"parallel.pos_none", 0x1p+0f}, {"intensity.0", 0x1.5c01a4p-3f}, {"intensity.1", 0x1.5c01a4p-3f}, {"intensity.2", 0x1.5c01a4p-3f}, {"intensity.3", 0x1.5c01a4p-3f}, {"intensity.4", 0x1.5c01a4p-3f}, {"intensity.5", 0x1.5c01a4p-3f}, {"intensity.6", 0x1.5c01a4p-3f}, {"intensity.7", 0x1.5c01a4p-3f}, {"intensity.8", 0x1.5c01a4p-3f}, {"intensity.9", 0x1.5c01a4p-3f}, {"buf0.read", 0x1p+0f}, {"buf0.bytes", 0x1.12d6cp+3f}, {"buf0.unique_bytes", 0x1.12d6cp+3f}, {"buf0.lines", 0x1.675768p+1f}, {"buf0.unique_lines", 0x1.675768p+1f}, {"buf0.reuse_none", 0x1p+0f}, {"buf0.reuse_counter", 0x1p+0f}, {"buf0.stride", 0x1p+0f}, {"buf0.bytes_per_reuse", 0x1.12d6cp+3f}, {"buf0.unique_bytes_per_reuse", 0x1.12d6cp+3f}, {"buf0.lines_per_reuse", 0x1.675768p+1f}, {"buf0.unique_lines_per_reuse", 0x1.675768p+1f}, {"buf1.write", 0x1p+0f}, {"buf1.bytes", 0x1.12d6cp+3f}, {"buf1.unique_bytes", 0x1.12d6cp+3f}, {"buf1.lines", 0x1.675768p+1f}, {"buf1.unique_lines", 0x1.675768p+1f}, {"buf1.reuse_none", 0x1p+0f}, {"buf1.reuse_counter", 0x1p+0f}, {"buf1.stride", 0x1p+0f}, {"buf1.bytes_per_reuse", 0x1.12d6cp+3f}, {"buf1.unique_bytes_per_reuse", 0x1.12d6cp+3f}, {"buf1.lines_per_reuse", 0x1.675768p+1f}, {"buf1.unique_lines_per_reuse", 0x1.675768p+1f}, {"alloc.output_bytes", 0x1.12d6cp+3f}, {"alloc.count", 0x1.4ae00ep+1f}, {"outer_loops", 0x1p+1f}, {"iters", 0x1.a664f8p+2f}, {"num_buffers", 0x1p+1f}, {"output_rank", 0x1p+1f}}},
+      {"C", {{"f_select", 0x1.c0b7f2p+2f}, {"i_cmp", 0x1.c0b7f2p+2f}, {"i_other", 0x1.c0b7f2p+2f}, {"vec.pos_none", 0x1p+0f}, {"unroll.pos_none", 0x1p+0f}, {"parallel.pos_none", 0x1p+0f}, {"intensity.0", 0x1.49a784p-2f}, {"intensity.1", 0x1.49a784p-2f}, {"intensity.2", 0x1.49a784p-2f}, {"intensity.3", 0x1.49a784p-2f}, {"intensity.4", 0x1.49a784p-2f}, {"intensity.5", 0x1.49a784p-2f}, {"intensity.6", 0x1.49a784p-2f}, {"intensity.7", 0x1.49a784p-2f}, {"intensity.8", 0x1.49a784p-2f}, {"intensity.9", 0x1.49a784p-2f}, {"buf0.read", 0x1p+0f}, {"buf0.bytes", 0x1.20171p+3f}, {"buf0.unique_bytes", 0x1.20171p+3f}, {"buf0.lines", 0x1.95c01ap+1f}, {"buf0.unique_lines", 0x1.95c01ap+1f}, {"buf0.reuse_none", 0x1p+0f}, {"buf0.reuse_counter", 0x1p+0f}, {"buf0.stride", 0x1p+0f}, {"buf0.bytes_per_reuse", 0x1.20171p+3f}, {"buf0.unique_bytes_per_reuse", 0x1.20171p+3f}, {"buf0.lines_per_reuse", 0x1.95c01ap+1f}, {"buf0.unique_lines_per_reuse", 0x1.95c01ap+1f}, {"buf1.write", 0x1p+0f}, {"buf1.bytes", 0x1.20171p+3f}, {"buf1.unique_bytes", 0x1.20171p+3f}, {"buf1.lines", 0x1.95c01ap+1f}, {"buf1.unique_lines", 0x1.95c01ap+1f}, {"buf1.reuse_none", 0x1p+0f}, {"buf1.reuse_counter", 0x1p+0f}, {"buf1.stride", 0x1p+0f}, {"buf1.bytes_per_reuse", 0x1.20171p+3f}, {"buf1.unique_bytes_per_reuse", 0x1.20171p+3f}, {"buf1.lines_per_reuse", 0x1.95c01ap+1f}, {"buf1.unique_lines_per_reuse", 0x1.95c01ap+1f}, {"alloc.output_bytes", 0x1.20171p+3f}, {"alloc.count", 0x1.4ae00ep+1f}, {"outer_loops", 0x1p+1f}, {"iters", 0x1.c0b7f2p+2f}, {"num_buffers", 0x1p+1f}, {"output_rank", 0x1p+1f}}},
+      {"E", {{"vec.pos_none", 0x1p+0f}, {"unroll.pos_none", 0x1p+0f}, {"parallel.pos_none", 0x1p+0f}, {"intensity.0", 0x1.5c01a4p-3f}, {"intensity.1", 0x1.5c01a4p-3f}, {"intensity.2", 0x1.5c01a4p-3f}, {"intensity.3", 0x1.5c01a4p-3f}, {"intensity.4", 0x1.5c01a4p-3f}, {"intensity.5", 0x1.5c01a4p-3f}, {"intensity.6", 0x1.5c01a4p-3f}, {"intensity.7", 0x1.5c01a4p-3f}, {"intensity.8", 0x1.5c01a4p-3f}, {"intensity.9", 0x1.5c01a4p-3f}, {"buf0.write", 0x1p+0f}, {"buf0.bytes", 0x1.c0b7f2p+2f}, {"buf0.unique_bytes", 0x1.c0b7f2p+2f}, {"buf0.lines", 0x1.95c01ap+0f}, {"buf0.unique_lines", 0x1.95c01ap+0f}, {"buf0.reuse_none", 0x1p+0f}, {"buf0.reuse_counter", 0x1p+0f}, {"buf0.stride", 0x1p+0f}, {"buf0.bytes_per_reuse", 0x1.c0b7f2p+2f}, {"buf0.unique_bytes_per_reuse", 0x1.c0b7f2p+2f}, {"buf0.lines_per_reuse", 0x1.95c01ap+0f}, {"buf0.unique_lines_per_reuse", 0x1.95c01ap+0f}, {"alloc.output_bytes", 0x1.c0b7f2p+2f}, {"alloc.count", 0x1.4ae00ep+1f}, {"outer_loops", 0x1p+1f}, {"iters", 0x1.42d75ap+2f}, {"num_buffers", 0x1p+0f}, {"output_rank", 0x1p+1f}}},
+      {"E", {{"f_add", 0x1.20171p+3f}, {"f_mul", 0x1.20171p+3f}, {"vec.pos_none", 0x1p+0f}, {"unroll.pos_none", 0x1p+0f}, {"parallel.pos_none", 0x1p+0f}, {"intensity.0", 0x1.4dddp-1f}, {"intensity.1", 0x1.24f54ap-1f}, {"intensity.2", 0x1.f34f06p-2f}, {"intensity.3", 0x1.974e44p-2f}, {"intensity.4", 0x1.3530bcp-2f}, {"intensity.5", 0x1.effd1ap-3f}, {"intensity.6", 0x1.c9494ep-3f}, {"intensity.7", 0x1.a212p-3f}, {"intensity.8", 0x1.7a53a8p-3f}, {"intensity.9", 0x1.520a96p-3f}, {"buf0.read", 0x1p+0f}, {"buf0.bytes", 0x1.6005c4p+3f}, {"buf0.unique_bytes", 0x1.20171p+3f}, {"buf0.lines", 0x1.42d75ap+2f}, {"buf0.unique_lines", 0x1.95c01ap+1f}, {"buf0.reuse_loop", 0x1p+0f}, {"buf0.reuse_dist_iters", 0x1.0598fep+2f}, {"buf0.reuse_dist_bytes", 0x1.816e7ap+2f}, {"buf0.reuse_counter", 0x1.2934fp+1f}, {"buf0.stride", 0x1p+0f}, {"buf0.bytes_per_reuse", 0x1.20171p+3f}, {"buf0.unique_bytes_per_reuse", 0x1.c0b7f2p+2f}, {"buf0.lines_per_reuse", 0x1.95c01ap+1f}, {"buf0.unique_lines_per_reuse", 0x1.95c01ap+0f}, {"buf1.read", 0x1p+0f}, {"buf1.bytes", 0x1.6005c4p+3f}, {"buf1.unique_bytes", 0x1.002e14p+3f}, {"buf1.lines", 0x1.20171p+3f}, {"buf1.unique_lines", 0x1.0598fep+2f}, {"buf1.reuse_loop", 0x1p+0f}, {"buf1.reuse_dist_iters", 0x1.816e7ap+2f}, {"buf1.reuse_dist_bytes", 0x1.002e14p+3f}, {"buf1.reuse_counter", 0x1.95c01ap+1f}, {"buf1.stride", 0x1.2934fp+1f}, {"buf1.bytes_per_reuse", 0x1.002e14p+3f}, {"buf1.unique_bytes_per_reuse", 0x1.42d75ap+2f}, {"buf1.lines_per_reuse", 0x1.816e7ap+2f}, {"buf1.unique_lines_per_reuse", 0x1.95c01ap+0f}, {"buf2.write", 0x1p+0f}, {"buf2.bytes", 0x1.6005c4p+3f}, {"buf2.unique_bytes", 0x1.c0b7f2p+2f}, {"buf2.lines", 0x1.42d75ap+2f}, {"buf2.unique_lines", 0x1.42d75ap+2f}, {"buf2.reuse_loop", 0x1p+0f}, {"buf2.reuse_dist_iters", 0x1p+0f}, {"buf2.reuse_dist_bytes", 0x1.2934fp+1f}, {"buf2.reuse_counter", 0x1.0598fep+2f}, {"buf2.bytes_per_reuse", 0x1.c0b7f2p+2f}, {"buf2.unique_bytes_per_reuse", 0x1.95c01ap+1f}, {"buf2.lines_per_reuse", 0x1.95c01ap+0f}, {"buf2.unique_lines_per_reuse", 0x1.95c01ap+0f}, {"alloc.output_bytes", 0x1.c0b7f2p+2f}, {"alloc.count", 0x1.4ae00ep+1f}, {"outer_loops", 0x1.8p+1f}, {"iters", 0x1.20171p+3f}, {"is_reduction", 0x1p+0f}, {"num_buffers", 0x1.8p+1f}, {"output_rank", 0x1p+1f}}},
+  });
+}
+
+}  // namespace
+}  // namespace ansor

@@ -16,12 +16,11 @@ TEST(Features, DimensionIs164) {
 TEST(Features, OneRowPerStatement) {
   ComputeDAG dag = testing::MatmulRelu(8, 8, 8);
   State state(&dag);
-  auto rows = ExtractStateFeatures(state);
+  FeatureMatrix m = ExtractStateFeatures(state);
   // C init, C accumulate, D store.
-  ASSERT_EQ(rows.size(), 3u);
-  for (const auto& row : rows) {
-    EXPECT_EQ(row.size(), FeatureDim());
-  }
+  ASSERT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.dim(), FeatureDim());
+  EXPECT_EQ(m.data().size(), 3u * FeatureDim());
 }
 
 TEST(Features, FailedLoweringYieldsNoRows) {
@@ -39,8 +38,8 @@ TEST(Features, AnnotationFeaturesRespond) {
   ASSERT_TRUE(annotated.Reorder("C", {0, 2, 1}));
   ASSERT_TRUE(annotated.Annotate("C", 2, IterAnnotation::kVectorize));
 
-  auto plain_rows = ExtractStateFeatures(plain);
-  auto annotated_rows = ExtractStateFeatures(annotated);
+  FeatureMatrix plain_rows = ExtractStateFeatures(plain);
+  FeatureMatrix annotated_rows = ExtractStateFeatures(annotated);
   ASSERT_FALSE(plain_rows.empty());
   ASSERT_FALSE(annotated_rows.empty());
 
@@ -59,10 +58,10 @@ TEST(Features, AnnotationFeaturesRespond) {
   ASSERT_GE(vec_len, 0);
   ASSERT_GE(par_prod, 0);
   // The accumulate row (row 1) of the annotated state shows both.
-  EXPECT_GT(annotated_rows[1][static_cast<size_t>(vec_len)], 0.0f);
-  EXPECT_GT(annotated_rows[1][static_cast<size_t>(par_prod)], 0.0f);
-  EXPECT_EQ(plain_rows[1][static_cast<size_t>(vec_len)], 0.0f);
-  EXPECT_EQ(plain_rows[1][static_cast<size_t>(par_prod)], 0.0f);
+  EXPECT_GT(annotated_rows.at(1, static_cast<size_t>(vec_len)), 0.0f);
+  EXPECT_GT(annotated_rows.at(1, static_cast<size_t>(par_prod)), 0.0f);
+  EXPECT_EQ(plain_rows.at(1, static_cast<size_t>(vec_len)), 0.0f);
+  EXPECT_EQ(plain_rows.at(1, static_cast<size_t>(par_prod)), 0.0f);
 }
 
 TEST(Features, BufferFeaturesDistinguishPrograms) {
@@ -75,22 +74,82 @@ TEST(Features, BufferFeaturesDistinguishPrograms) {
   ASSERT_TRUE(tiled.Split("C", 2, {8}));
   ASSERT_TRUE(tiled.Split("C", 4, {8}));
   ASSERT_TRUE(tiled.Reorder("C", {0, 2, 4, 1, 3, 5}));
-  auto a = ExtractStateFeatures(plain);
-  auto b = ExtractStateFeatures(tiled);
-  ASSERT_EQ(a.size(), b.size());
-  bool any_diff = false;
-  for (size_t r = 0; r < a.size(); ++r) {
-    if (a[r] != b[r]) {
-      any_diff = true;
+  FeatureMatrix a = ExtractStateFeatures(plain);
+  FeatureMatrix b = ExtractStateFeatures(tiled);
+  ASSERT_EQ(a.rows(), b.rows());
+  EXPECT_NE(a, b);
+}
+
+TEST(Features, StrideMergesMinimumAcrossAccesses) {
+  // C[i,j] = sum_k A[i,k] * A[k,j]: the same buffer is accessed twice in one
+  // statement with innermost (k) strides 1 and 8. The merged stride feature
+  // must be the minimum (the fastest-varying access determines locality),
+  // not whichever access happened to be processed last.
+  Tensor a = Placeholder("A", {8, 8});
+  Tensor c = Compute("C", {8, 8}, [&](const std::vector<Expr>& i) {
+    Expr r = ReduceAxis(8, "k");
+    return Sum(a(i[0], r) * a(r, i[1]), {r});
+  });
+  ComputeDAG dag({a, c});
+  State state(&dag);
+  FeatureMatrix rows = ExtractStateFeatures(state);
+  ASSERT_EQ(rows.rows(), 2u);  // init + accumulate
+  const auto& names = FeatureNames();
+  int stride = -1;
+  int reads = -1;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == "buf0.stride") {
+      stride = static_cast<int>(i);
+    }
+    if (names[i] == "buf0.read") {
+      reads = static_cast<int>(i);
     }
   }
-  EXPECT_TRUE(any_diff);
+  ASSERT_GE(stride, 0);
+  ASSERT_GE(reads, 0);
+  // A moves twice the bytes of the store to C, so it occupies slot 0 of the
+  // accumulate row; log2(1 + min(1, 8)) == 1.
+  EXPECT_EQ(rows.at(1, static_cast<size_t>(reads)), 1.0f);
+  EXPECT_EQ(rows.at(1, static_cast<size_t>(stride)), 1.0f);
+}
+
+TEST(Features, EqualBytesSlotOrderIsFirstEncounter) {
+  // In the matmul accumulate row A, B and C all move the same bytes per
+  // iteration, so buffer-slot order falls entirely to the tie-break. It must
+  // follow access order — loads A, B, then the store of C — independent of
+  // any hash-map iteration order.
+  ComputeDAG dag = testing::Matmul(8, 8, 8);
+  State state(&dag);
+  FeatureMatrix rows = ExtractStateFeatures(state);
+  ASSERT_EQ(rows.rows(), 2u);
+  const auto& names = FeatureNames();
+  auto index_of = [&](const std::string& name) {
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+  auto at = [&](const std::string& name) {
+    int i = index_of(name);
+    EXPECT_GE(i, 0) << name;
+    return rows.at(1, static_cast<size_t>(i));
+  };
+  // Slot 0: A (read, innermost stride 1). Slot 1: B (read, stride 8).
+  // Slot 2: C (the store).
+  float stride8 = static_cast<float>(std::log2(9.0));  // Log2p1(8)
+  EXPECT_EQ(at("buf0.read"), 1.0f);
+  EXPECT_EQ(at("buf0.stride"), 1.0f);
+  EXPECT_EQ(at("buf1.read"), 1.0f);
+  EXPECT_EQ(at("buf1.stride"), stride8);
+  EXPECT_EQ(at("buf2.write"), 1.0f);
 }
 
 TEST(Features, ReductionFlagSet) {
   ComputeDAG dag = testing::Matmul(8, 8, 8);
   State state(&dag);
-  auto rows = ExtractStateFeatures(state);
+  FeatureMatrix rows = ExtractStateFeatures(state);
   const auto& names = FeatureNames();
   int flag = -1;
   for (size_t i = 0; i < names.size(); ++i) {
@@ -100,9 +159,9 @@ TEST(Features, ReductionFlagSet) {
   }
   ASSERT_GE(flag, 0);
   // Row 0 = init (not reduction combine), row 1 = accumulate.
-  ASSERT_EQ(rows.size(), 2u);
-  EXPECT_EQ(rows[0][static_cast<size_t>(flag)], 0.0f);
-  EXPECT_EQ(rows[1][static_cast<size_t>(flag)], 1.0f);
+  ASSERT_EQ(rows.rows(), 2u);
+  EXPECT_EQ(rows.at(0, static_cast<size_t>(flag)), 0.0f);
+  EXPECT_EQ(rows.at(1, static_cast<size_t>(flag)), 1.0f);
 }
 
 TEST(Features, ValuesAreFinite) {
@@ -110,12 +169,10 @@ TEST(Features, ValuesAreFinite) {
   State state(&dag);
   ASSERT_TRUE(state.Split("S", 1, {16}));
   ASSERT_TRUE(state.Rfactor("S", 2, nullptr));
-  auto rows = ExtractStateFeatures(state);
+  FeatureMatrix rows = ExtractStateFeatures(state);
   ASSERT_FALSE(rows.empty());
-  for (const auto& row : rows) {
-    for (float v : row) {
-      EXPECT_TRUE(std::isfinite(v));
-    }
+  for (float v : rows.data()) {
+    EXPECT_TRUE(std::isfinite(v));
   }
 }
 

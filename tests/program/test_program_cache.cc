@@ -30,12 +30,11 @@ TEST(ProgramCache, ArtifactCarriesLoweringFeaturesAndSignature) {
   EXPECT_TRUE(artifact->ok());
   EXPECT_EQ(artifact->signature(), StepSignature(s));
   EXPECT_FALSE(artifact->features().empty());
-  EXPECT_EQ(artifact->features().size(), artifact->row_stages().size());
+  EXPECT_EQ(artifact->features().rows(), artifact->row_stages().size());
   // The artifact must hold exactly what a direct compile produces.
-  std::vector<std::string> row_stages;
-  auto rows = ExtractFeatures(Lower(s), &row_stages);
-  EXPECT_EQ(artifact->features(), rows);
-  EXPECT_EQ(artifact->row_stages(), row_stages);
+  FeatureMatrix direct = ExtractFeatures(Lower(s));
+  EXPECT_EQ(artifact->features(), direct);
+  EXPECT_EQ(artifact->row_stages(), direct.row_stages());
 }
 
 TEST(ProgramCache, EqualSignaturesShareOneArtifact) {
@@ -185,7 +184,7 @@ TEST(ProgramCacheDeterminism, EvolveThreadAndCapacityMatrix) {
   auto run = [&](size_t threads, size_t capacity, int verify_level) {
     Measurer measurer(MachineModel::IntelCpu20Core());
     GbdtCostModel model;
-    std::vector<std::vector<std::vector<float>>> features;
+    std::vector<FeatureMatrix> features;
     std::vector<double> throughputs;
     for (const State& s : init) {
       features.push_back(ExtractStateFeatures(s));
