@@ -11,7 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
-for bench in micro_evolution micro_pipeline micro_scoring micro_service; do
+for bench in micro_evolution micro_pipeline micro_scoring micro_service micro_store; do
   bin="$BUILD_DIR/bench/$bench"
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not found; build first: cmake --build $BUILD_DIR -j" >&2

@@ -3,7 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 
+#include "src/ir/state.h"
+#include "src/store/artifact_store.h"
+#include "src/store/record_store.h"
+#include "src/store/serde.h"
 #include "src/support/logging.h"
 #include "src/support/util.h"
 
@@ -69,6 +75,157 @@ void GbdtCostModel::Retrain() {
   }
   model_ = Gbdt(params_);
   model_.Train(data);
+}
+
+TrainFromStoreStats GbdtCostModel::TrainFromStore(const RecordStore& records,
+                                                  const ArtifactStore& artifacts) {
+  TrainFromStoreStats stats;
+  for (const TuningRecord& record : records.Snapshot()) {
+    const ArtifactSnapshot* artifact =
+        artifacts.Find(record.task_id, StepSignature(record.steps));
+    if (artifact == nullptr || artifact->features.empty()) {
+      ++stats.missing_features;
+      continue;
+    }
+    // Live measurements persist their FLOPS throughput; legacy text records
+    // only carry seconds. 1/seconds differs from FLOPS by the task's
+    // constant flop count, which the per-task normalization divides away.
+    double throughput = record.throughput > 0.0
+                            ? record.throughput
+                            : (record.seconds > 0.0 ? 1.0 / record.seconds : 0.0);
+    samples_.push_back(artifact->features);
+    labels_raw_.push_back(std::max(0.0, throughput));
+    task_ids_.push_back(record.task_id);
+    double& best = task_best_[record.task_id];
+    best = std::max(best, throughput);
+    ++stats.used;
+  }
+  if (stats.used > 0) {
+    Retrain();
+    BumpVersion();
+  }
+  return stats;
+}
+
+namespace {
+
+constexpr char kModelMagic[8] = {'A', 'N', 'S', 'R', 'G', 'B', 'M', '1'};
+constexpr size_t kModelMagicSize = sizeof(kModelMagic);
+constexpr uint64_t kMaxModelSamples = 1u << 28;
+
+}  // namespace
+
+std::string GbdtCostModel::Serialize() const {
+  // Body first so the string table (stage names interned by the feature
+  // codec) is complete before it is written ahead of the body.
+  StringTable strings;
+  ByteWriter body;
+  model_.EncodeTo(&body);
+  body.PutVarint(samples_.size());
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    EncodeFeatureMatrix(samples_[i], &strings, &body);
+    body.PutF64(labels_raw_[i]);
+    body.PutU64(task_ids_[i]);
+  }
+  // task_best_ in sorted task order: identical state must serialize to
+  // identical bytes regardless of hash-map iteration order.
+  std::vector<std::pair<uint64_t, double>> bests(task_best_.begin(), task_best_.end());
+  std::sort(bests.begin(), bests.end());
+  body.PutVarint(bests.size());
+  for (const auto& [task, best] : bests) {
+    body.PutU64(task);
+    body.PutF64(best);
+  }
+  ByteWriter w;
+  w.PutRaw(kModelMagic, kModelMagicSize);
+  strings.Encode(&w);
+  w.PutRaw(body.buffer().data(), body.size());
+  return w.Take();
+}
+
+bool GbdtCostModel::Deserialize(const std::string& bytes) {
+  if (bytes.size() < kModelMagicSize ||
+      bytes.compare(0, kModelMagicSize, kModelMagic, kModelMagicSize) != 0) {
+    return false;
+  }
+  ByteReader r(bytes);
+  r.Skip(kModelMagicSize);
+  StringTable strings;
+  if (!strings.Decode(&r)) {
+    return false;
+  }
+  Gbdt model;
+  if (!model.DecodeFrom(&r)) {
+    return false;
+  }
+  uint64_t num_samples = r.GetVarint();
+  if (!r.ok() || num_samples > kMaxModelSamples) {
+    return false;
+  }
+  std::vector<FeatureMatrix> samples;
+  std::vector<double> labels;
+  std::vector<uint64_t> task_ids;
+  samples.reserve(num_samples);
+  labels.reserve(num_samples);
+  task_ids.reserve(num_samples);
+  for (uint64_t i = 0; i < num_samples; ++i) {
+    FeatureMatrix m;
+    if (!DecodeFeatureMatrix(&r, strings.strings(), &m)) {
+      return false;
+    }
+    double label = r.GetF64();
+    uint64_t task = r.GetU64();
+    if (!r.ok() || !std::isfinite(label) || label < 0.0) {
+      return false;
+    }
+    samples.push_back(std::move(m));
+    labels.push_back(label);
+    task_ids.push_back(task);
+  }
+  uint64_t num_bests = r.GetVarint();
+  if (!r.ok() || num_bests > kMaxModelSamples) {
+    return false;
+  }
+  std::unordered_map<uint64_t, double> bests;
+  for (uint64_t i = 0; i < num_bests; ++i) {
+    uint64_t task = r.GetU64();
+    double best = r.GetF64();
+    if (!r.ok() || !std::isfinite(best)) {
+      return false;
+    }
+    bests[task] = best;
+  }
+  if (!r.AtEnd()) {
+    return false;  // trailing garbage: refuse, the container is inconsistent
+  }
+  params_ = model.params();
+  model_ = std::move(model);
+  samples_ = std::move(samples);
+  labels_raw_ = std::move(labels);
+  task_ids_ = std::move(task_ids);
+  task_best_ = std::move(bests);
+  BumpVersion();  // any memoized stage scores elsewhere are now stale
+  return true;
+}
+
+bool GbdtCostModel::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return false;
+  }
+  std::string bytes = Serialize();
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return out.good();
+}
+
+bool GbdtCostModel::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Deserialize(buffer.str());
 }
 
 std::vector<double> GbdtCostModel::Predict(

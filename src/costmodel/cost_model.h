@@ -12,6 +12,7 @@
 #define ANSOR_SRC_COSTMODEL_COST_MODEL_H_
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -20,6 +21,16 @@
 #include "src/support/rng.h"
 
 namespace ansor {
+
+class RecordStore;
+class ArtifactStore;
+
+// Accounting for GbdtCostModel::TrainFromStore: how many stored records
+// became training samples vs lacked a persisted feature matrix.
+struct TrainFromStoreStats {
+  size_t used = 0;
+  size_t missing_features = 0;
+};
 
 class CostModel {
  public:
@@ -103,6 +114,27 @@ class GbdtCostModel : public CostModel {
   size_t num_samples() const { return labels_raw_.size(); }
   // The trained model (bench / introspection).
   const Gbdt& gbdt() const { return model_; }
+
+  // Transfer learning from the persistence layer (the paper's "single model
+  // trained for all programs coming from all DAGs", across process
+  // lifetimes): joins every stored TuningRecord against its persisted
+  // feature matrix in `artifacts` (ArtifactStore::Find by task + step
+  // signature) and retrains once over the union. Labels use the record's
+  // measured throughput; legacy records without one fall back to 1/seconds,
+  // which the per-task normalization maps to the same [0, 1] labels for any
+  // single task. Appends to existing training data, so the result equals
+  // having Updated with the same samples live.
+  TrainFromStoreStats TrainFromStore(const RecordStore& records,
+                                     const ArtifactStore& artifacts);
+
+  // Binary round trip of the whole model state: params, trained forest (bit
+  // -identical predictions after load), and the accumulated training data +
+  // per-task bests, so Update after a load continues exactly where the saved
+  // model stopped. Loading bumps version() (memoized stage scores go stale).
+  std::string Serialize() const;
+  bool Deserialize(const std::string& bytes);
+  bool SaveToFile(const std::string& path) const;
+  bool LoadFromFile(const std::string& path);
 
  private:
   void Retrain();

@@ -25,6 +25,9 @@
 
 namespace ansor {
 
+class ByteWriter;
+class ByteReader;
+
 struct GbdtParams {
   int num_trees = 50;
   int max_depth = 6;
@@ -109,6 +112,16 @@ class Gbdt {
 
   const std::vector<Tree>& trees() const { return trees_; }
   const CompiledForest& forest() const { return forest_; }
+  const GbdtParams& params() const { return params_; }
+
+  // Binary codec (store layer, src/store/bytes.h): params, base score, and
+  // the trained trees with raw IEEE threshold/value bits, so a decoded
+  // model's predictions are bit-identical to the encoder's. DecodeFrom
+  // validates every node index and recompiles the inference forest; it fails
+  // the reader (returning false, model untouched semantically) on malformed
+  // input.
+  void EncodeTo(ByteWriter* w) const;
+  bool DecodeFrom(ByteReader* r);
 
  private:
   GbdtParams params_;

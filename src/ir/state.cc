@@ -683,9 +683,11 @@ bool State::ApplyRfactor(const Step& step) {
   return true;
 }
 
-std::string StepSignature(const State& state) {
+std::string StepSignature(const State& state) { return StepSignature(state.steps()); }
+
+std::string StepSignature(const std::vector<Step>& steps) {
   std::string sig;
-  for (const Step& step : state.steps()) {
+  for (const Step& step : steps) {
     sig += step.ToString();
     sig += ";";
   }

@@ -142,6 +142,10 @@ class State {
 // strings. The dedup key used by search, measurement bookkeeping, and the
 // determinism tests.
 std::string StepSignature(const State& state);
+// The same signature computed from a bare step list (no State/DAG needed):
+// the store layer's dedup key for persisted records and artifact snapshots.
+// Identical to StepSignature(state) for state.steps() == steps.
+std::string StepSignature(const std::vector<Step>& steps);
 
 }  // namespace ansor
 

@@ -1,5 +1,6 @@
 #include "src/program/program_artifact.h"
 
+#include "src/dag/compute_dag.h"
 #include "src/ir/state.h"
 
 namespace ansor {
@@ -8,11 +9,70 @@ ProgramArtifact::ProgramArtifact(const State& state)
     : ProgramArtifact(state, StepSignature(state)) {}
 
 ProgramArtifact::ProgramArtifact(const State& state, std::string signature)
-    : signature_(std::move(signature)), lowered_(Lower(state)) {
+    : signature_(std::move(signature)),
+      task_id_(state.dag() != nullptr ? state.dag()->CanonicalHash() : 0),
+      steps_(state.steps()) {
+  lowered_ = Lower(state);
+  lowering_ok_ = lowered_.ok;
   if (lowered_.ok) {
     features_ = ExtractFeatures(lowered_);
   }
   verifier_report_ = VerifyProgram(state, lowered_);
+  structurally_legal_ = verifier_report_.legal();
+  materialized_.store(true, std::memory_order_release);
+}
+
+ProgramArtifact::ProgramArtifact(
+    std::shared_ptr<const ComputeDAG> dag, std::vector<Step> steps,
+    std::string signature, FeatureMatrix features, bool lowering_ok,
+    bool structurally_legal,
+    const std::vector<std::pair<uint64_t, bool>>& resource_verdicts)
+    : signature_(std::move(signature)),
+      task_id_(dag != nullptr ? dag->CanonicalHash() : 0),
+      steps_(std::move(steps)),
+      dag_(std::move(dag)),
+      features_(std::move(features)),
+      lowering_ok_(lowering_ok),
+      structurally_legal_(structurally_legal) {
+  for (const auto& [fingerprint, passed] : resource_verdicts) {
+    // Seed the memo with the snapshot's verdict summary: failed() is all the
+    // search consults, so a pass/fail skeleton reproduces every filtering
+    // decision without re-lowering. Diagnostics are only re-derived when a
+    // consumer materializes the artifact and recomputes from scratch.
+    auto verdict = std::make_shared<CheckVerdict>();
+    verdict->verdict = passed ? VerifierVerdict::kPass : VerifierVerdict::kFail;
+    if (!passed) {
+      verdict->diagnostics.push_back("resource-limit failure (from snapshot)");
+    }
+    resources_.push_back(ResourceMemo{fingerprint, std::move(verdict)});
+  }
+}
+
+void ProgramArtifact::Materialize() const {
+  if (materialized_.load(std::memory_order_acquire)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(materialize_mu_);
+  if (materialized_.load(std::memory_order_acquire)) {
+    return;
+  }
+  // Replay + lower + verify: the same pure derivation the cold constructor
+  // runs, so a materialized warm artifact is indistinguishable from a cold
+  // build of the same (DAG, steps).
+  State state = State::Replay(dag_.get(), steps_);
+  lowered_ = Lower(state);
+  verifier_report_ = VerifyProgram(state, lowered_);
+  materialized_.store(true, std::memory_order_release);
+}
+
+const LoweredProgram& ProgramArtifact::lowered() const {
+  Materialize();
+  return lowered_;
+}
+
+const VerifierReport& ProgramArtifact::verifier_report() const {
+  Materialize();
+  return verifier_report_;
 }
 
 std::shared_ptr<const CheckVerdict> ProgramArtifact::resource_verdict(
@@ -28,6 +88,7 @@ std::shared_ptr<const CheckVerdict> ProgramArtifact::resource_verdict(
   }
   // Computed outside the lock: the verdict is a pure function of
   // (program, machine), so a racing duplicate is identical and harmless.
+  Materialize();
   auto verdict = std::make_shared<const CheckVerdict>(VerifyResources(lowered_, machine));
   std::lock_guard<std::mutex> lock(resources_mu_);
   for (const ResourceMemo& memo : resources_) {
@@ -37,6 +98,18 @@ std::shared_ptr<const CheckVerdict> ProgramArtifact::resource_verdict(
   }
   resources_.push_back(ResourceMemo{fingerprint, verdict});
   return verdict;
+}
+
+std::vector<std::pair<uint64_t, bool>> ProgramArtifact::resource_verdict_summary() const {
+  std::vector<std::pair<uint64_t, bool>> out;
+  std::lock_guard<std::mutex> lock(resources_mu_);
+  out.reserve(resources_.size());
+  for (const ResourceMemo& memo : resources_) {
+    // Skipped verdicts (failed lowering) carry no information worth
+    // persisting; failed() is false for them either way.
+    out.emplace_back(memo.machine_fingerprint, !memo.verdict->failed());
+  }
+  return out;
 }
 
 std::shared_ptr<const ScoredStages> ProgramArtifact::stage_scores(

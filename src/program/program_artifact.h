@@ -13,6 +13,18 @@
 // construction) so legality of a distinct program is proven exactly once per
 // task, however many times the search re-encounters it.
 //
+// Artifacts come in two flavors:
+//  * Cold (from a State): lowered, feature-extracted and verified eagerly at
+//    construction — the search's normal path.
+//  * Warm (from a persisted snapshot, src/store/artifact_store.h): the
+//    signature, steps, features, and verdict summary are restored directly;
+//    the loop tree and full verifier report are re-derived lazily by
+//    replaying the steps on the DAG the first time a consumer actually needs
+//    them. Population scoring and static filtering — the bulk of a resumed
+//    run's traffic — read only features and verdicts, so a warm-started
+//    search recompiles nothing it has already seen. Laziness is invisible:
+//    every accessor returns exactly what the cold construction would have.
+//
 // Artifacts are immutable after construction except for two memos: the
 // stage-score memo, stamped with the (model id, model version) it was
 // computed under, and the per-machine resource-check memo, keyed by
@@ -22,17 +34,22 @@
 #ifndef ANSOR_SRC_PROGRAM_PROGRAM_ARTIFACT_H_
 #define ANSOR_SRC_PROGRAM_PROGRAM_ARTIFACT_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/analysis/program_verifier.h"
 #include "src/features/feature_extraction.h"
+#include "src/ir/steps.h"
 #include "src/lower/loop_tree.h"
 
 namespace ansor {
+
+class ComputeDAG;
 
 // Per-stage score sums for one program, stamped with the cost-model instance
 // and version that produced them. A stamp mismatch reads as absent.
@@ -51,15 +68,31 @@ class ProgramArtifact {
   // As above with the StepSignature already computed (the ProgramCache hands
   // over the one it derived the cache key from).
   ProgramArtifact(const State& state, std::string signature);
+  // Warm restore from a persisted snapshot: everything a scoring/filtering
+  // consumer reads is handed over directly; lowering and the full verifier
+  // report are re-derived on first demand by replaying `steps` on `dag`.
+  // `resource_verdicts` seeds the per-machine memo with (fingerprint,
+  // passed) summaries captured at snapshot time.
+  ProgramArtifact(std::shared_ptr<const ComputeDAG> dag, std::vector<Step> steps,
+                  std::string signature, FeatureMatrix features, bool lowering_ok,
+                  bool structurally_legal,
+                  const std::vector<std::pair<uint64_t, bool>>& resource_verdicts);
 
   ProgramArtifact(const ProgramArtifact&) = delete;
   ProgramArtifact& operator=(const ProgramArtifact&) = delete;
 
   // Lowering validity: false means lowered().error holds the diagnostic.
-  bool ok() const { return lowered_.ok; }
+  bool ok() const { return lowering_ok_; }
   // The state's StepSignature — the content address within one DAG.
   const std::string& signature() const { return signature_; }
-  const LoweredProgram& lowered() const { return lowered_; }
+  // The producing DAG's canonical hash: the task-level half of the content
+  // address (0 only for a default-constructed failed state with no DAG).
+  uint64_t task_id() const { return task_id_; }
+  // The program's step history (what a snapshot persists for lazy
+  // re-lowering; empty for failed states, whose history is normalized away).
+  const std::vector<Step>& steps() const { return steps_; }
+  // The lowered loop tree. Materializes a warm artifact on first call.
+  const LoweredProgram& lowered() const;
   // Flat feature matrix, one row per innermost store statement (with its
   // owning stage name attached); empty when ok() is false.
   const FeatureMatrix& features() const { return features_; }
@@ -67,20 +100,30 @@ class ProgramArtifact {
   const std::vector<std::string>& row_stages() const { return features_.row_stages(); }
 
   // The static verifier's machine-independent report (lowering, buffer
-  // bounds, iterator domains, def-before-use), computed once at construction
-  // — so the ProgramCache pays for verification once per distinct program.
-  const VerifierReport& verifier_report() const { return verifier_report_; }
+  // bounds, iterator domains, def-before-use). Materializes a warm artifact
+  // on first call; statically_legal() does not (the summary flag is part of
+  // the snapshot).
+  const VerifierReport& verifier_report() const;
 
   // Machine-dependent resource verdict, memoized per MachineModel
   // fingerprint under the same once-per-artifact discipline as the
-  // stage-score memo. Thread-safe; the returned snapshot is immutable.
+  // stage-score memo. Thread-safe; the returned snapshot is immutable. A
+  // fingerprint outside the memo materializes a warm artifact.
   std::shared_ptr<const CheckVerdict> resource_verdict(const MachineModel& machine) const;
 
   // True when every evaluated check passed: the structural report is legal
   // and, if a machine is given, its resource verdict is too.
   bool statically_legal(const MachineModel* machine = nullptr) const {
-    return verifier_report_.legal() && (machine == nullptr || !resource_verdict(*machine)->failed());
+    return structurally_legal_ && (machine == nullptr || !resource_verdict(*machine)->failed());
   }
+
+  // (fingerprint, passed) summary of every memoized resource verdict — what
+  // an ArtifactStore snapshot persists so a warm resume re-checks nothing.
+  std::vector<std::pair<uint64_t, bool>> resource_verdict_summary() const;
+
+  // False only for a warm artifact that has not yet re-lowered (tests and
+  // the zero-rebuild warm-start accounting).
+  bool materialized() const { return materialized_.load(std::memory_order_acquire); }
 
   // The stage-score memo if it matches the given model stamp, else nullptr.
   // Thread-safe; the returned snapshot is immutable.
@@ -92,10 +135,24 @@ class ProgramArtifact {
   void set_stage_scores(std::shared_ptr<const ScoredStages> scores) const;
 
  private:
+  // Replays steps_ on dag_ and derives lowered_ + verifier_report_ (warm
+  // artifacts only; cold ones are born materialized). Idempotent and
+  // thread-safe; the result is a pure function of (dag, steps), so a warm
+  // artifact after materialization is bit-identical to a cold build.
+  void Materialize() const;
+
   std::string signature_;
-  LoweredProgram lowered_;
+  uint64_t task_id_ = 0;
+  std::vector<Step> steps_;
+  std::shared_ptr<const ComputeDAG> dag_;  // held by warm artifacts for replay
   FeatureMatrix features_;
-  VerifierReport verifier_report_;
+  bool lowering_ok_ = false;
+  bool structurally_legal_ = false;
+
+  mutable std::atomic<bool> materialized_{false};
+  mutable std::mutex materialize_mu_;
+  mutable LoweredProgram lowered_;
+  mutable VerifierReport verifier_report_;
 
   mutable std::mutex scores_mu_;
   mutable std::shared_ptr<const ScoredStages> scores_;

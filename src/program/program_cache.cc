@@ -97,6 +97,47 @@ ProgramArtifactPtr ProgramCache::GetOrBuild(const State& state, uint64_t client_
   return artifact;
 }
 
+bool ProgramCache::WarmInsert(uint64_t dag_hash, ProgramArtifactPtr artifact) {
+  if (capacity_ == 0 || artifact == nullptr) {
+    return false;
+  }
+  std::string key = std::to_string(dag_hash);
+  key += '|';
+  key += artifact->signature();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.find(key) != shard.map.end()) {
+    // First insert wins, same as racing builds: any resident entry is
+    // already the canonical artifact for this key.
+    return false;
+  }
+  shard.lru.push_front(key);
+  shard.map.emplace(key, Entry{std::move(artifact), shard.lru.begin(), 0});
+  ++shard.warm_inserts;
+  while (shard.map.size() > per_shard_capacity_) {
+    shard.map.erase(shard.lru.back());
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  return true;
+}
+
+void ProgramCache::ForEach(const std::function<void(const ProgramArtifactPtr&)>& fn) const {
+  for (const Shard& shard : shards_) {
+    std::vector<ProgramArtifactPtr> resident;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      resident.reserve(shard.map.size());
+      for (const auto& [key, entry] : shard.map) {
+        resident.push_back(entry.artifact);
+      }
+    }
+    for (const ProgramArtifactPtr& artifact : resident) {
+      fn(artifact);
+    }
+  }
+}
+
 size_t ProgramCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
@@ -114,6 +155,7 @@ ProgramCacheStats ProgramCache::stats() const {
     out.misses += shard.misses;
     out.evictions += shard.evictions;
     out.cross_client_hits += shard.cross_client_hits;
+    out.warm_inserts += shard.warm_inserts;
   }
   return out;
 }

@@ -18,6 +18,7 @@
 #define ANSOR_SRC_PROGRAM_PROGRAM_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <string>
@@ -38,6 +39,10 @@ struct ProgramCacheStats {
   // is the cross-task reuse the sharing exists for: a program one task
   // compiled that another task consumed for free.
   int64_t cross_client_hits = 0;
+  // Entries installed through WarmInsert (artifact-store warm starts). Not
+  // lookups: warm inserts count toward neither hits nor misses, so a resumed
+  // run proving "zero rebuilds" shows misses == 0 with warm_inserts > 0.
+  int64_t warm_inserts = 0;
 
   int64_t lookups() const { return hits + misses; }
   double HitRate() const {
@@ -90,6 +95,19 @@ class ProgramCache {
   // tasks sharing one cache can report how much they reused of each other.
   ProgramArtifactPtr GetOrBuild(const State& state, uint64_t client_id = 0);
 
+  // Installs a prebuilt artifact under (dag_hash, artifact->signature())
+  // without counting a lookup: the artifact-store warm-start path. Keeps an
+  // existing entry on collision (first insert wins, like racing builds) and
+  // respects capacity (no-op at capacity 0). Returns true when inserted.
+  // Thread-safe; a warm insert is result-invariant because artifacts are
+  // pure functions of (DAG, steps) — only the miss counters change.
+  bool WarmInsert(uint64_t dag_hash, ProgramArtifactPtr artifact);
+
+  // Visits every resident artifact (snapshot capture). Per shard, the
+  // entries are copied out under the shard lock and visited unlocked, so
+  // concurrent lookups are never blocked on the visitor.
+  void ForEach(const std::function<void(const ProgramArtifactPtr&)>& fn) const;
+
   size_t capacity() const { return capacity_; }
   // Current entry count across all shards.
   size_t size() const;
@@ -113,6 +131,7 @@ class ProgramCache {
     int64_t misses = 0;
     int64_t evictions = 0;
     int64_t cross_client_hits = 0;
+    int64_t warm_inserts = 0;
     std::unordered_map<uint64_t, ProgramCacheClientStats> client_stats;
   };
 

@@ -69,6 +69,13 @@ struct SearchOptions {
   // When set, every valid measurement is appended here (resume / share /
   // apply-without-search workflows). Not owned.
   RecordLog* record_log = nullptr;
+  // Fleet-wide record sink (src/store/record_store.h): every valid
+  // measurement is also appended here, carrying its measured throughput and
+  // attributed to cache_client_id, under the store's dedup policy. A
+  // TuningService points every job's tuners at one store so the whole
+  // fleet's history accumulates deduplicated in one place (and feeds
+  // TrainFromStore). Not owned; may be shared across concurrent tuners.
+  RecordStore* record_store = nullptr;
   // Pool for evolution and feature extraction; nullptr = ThreadPool::Global().
   // Results are invariant to the pool size (see the determinism tests).
   ThreadPool* thread_pool = nullptr;

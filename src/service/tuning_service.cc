@@ -95,8 +95,11 @@ const JobReport& JobHandle::report() const {
 }
 
 TuningService::TuningService(TuningServiceOptions options)
-    : options_(options),
-      workers_(static_cast<size_t>(std::max(0, options.num_workers))) {
+    : options_(std::move(options)),
+      workers_(static_cast<size_t>(std::max(0, options_.num_workers))) {
+  if (!options_.warm_start_path.empty()) {
+    warm_start_stats_ = warm_store_.LoadFromFile(options_.warm_start_path);
+  }
   int drivers = std::max(1, options_.max_concurrent_jobs);
   drivers_.reserve(static_cast<size_t>(drivers));
   for (int i = 0; i < drivers; ++i) {
@@ -113,6 +116,23 @@ ProgramCache* TuningService::SharedCacheForTag(const std::string& tag) {
     cache = std::make_unique<ProgramCache>(options_.shared_cache_capacity);
   }
   return cache.get();
+}
+
+void TuningService::WarmTagCache(ProgramCache* cache,
+                                 const std::shared_ptr<const ComputeDAG>& dag) {
+  if (warm_store_.size() == 0 || cache == nullptr || dag == nullptr) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!warmed_[cache].insert(dag->CanonicalHash()).second) {
+      return;  // this (cache, task) pair was already warmed
+    }
+  }
+  // Outside mu_: warming only touches the cache's own shard locks, and a
+  // concurrent job hitting the cache mid-warm just sees a prefix of the
+  // snapshots — results are invariant either way (artifacts are pure).
+  warm_store_.WarmCache(cache, dag);
 }
 
 JobHandle TuningService::Submit(JobSpec spec) {
@@ -168,6 +188,9 @@ void TuningService::RunJob(JobState* job) {
     client_ids[i] = next_client_id_.fetch_add(1);
     if (options_.share_caches_by_tag && !spec.tasks[i].tag.empty()) {
       tag_caches[i] = SharedCacheForTag(spec.tasks[i].tag);
+      // Fleet warm start: seed the shared cache with every persisted
+      // artifact of this task before its tuner first touches it.
+      WarmTagCache(tag_caches[i], spec.tasks[i].dag);
     }
   }
   TaskSchedulerOptions opts = spec.options;
@@ -181,6 +204,9 @@ void TuningService::RunJob(JobState* job) {
     search->cache_client_id = client_ids[i];
     if (search->program_cache == nullptr && tag_caches[i] != nullptr) {
       search->program_cache = tag_caches[i];
+    }
+    if (search->record_store == nullptr) {
+      search->record_store = options_.record_store;
     }
   };
 
@@ -245,6 +271,11 @@ void TuningService::RunJob(JobState* job) {
     report.cache.lookups += cs.lookups;
     report.cache.hits += cs.hits;
     report.cache.cross_client_hits += cs.cross_client_hits;
+    if (options_.record_store != nullptr) {
+      RecordClientStats rs = options_.record_store->ClientStatsFor(client_ids[i]);
+      report.records.appended += rs.appended;
+      report.records.deduplicated += rs.deduplicated;
+    }
   }
   report.queue_seconds = SecondsBetween(job->submit_time, start);
   report.run_seconds = SecondsBetween(start, end);
@@ -288,6 +319,7 @@ ProgramCacheStats TuningService::SharedCacheStats() const {
     total.misses += s.misses;
     total.evictions += s.evictions;
     total.cross_client_hits += s.cross_client_hits;
+    total.warm_inserts += s.warm_inserts;
   }
   return total;
 }
@@ -295,6 +327,27 @@ ProgramCacheStats TuningService::SharedCacheStats() const {
 size_t TuningService::shared_cache_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return tag_caches_.size();
+}
+
+bool TuningService::SaveWarmState(const std::string& path) const {
+  ArtifactStore snapshot;
+  {
+    // Collect the caches under mu_, capture them outside it: CaptureCache
+    // only takes per-shard cache locks, which jobs also take — never mu_ —
+    // so the order here cannot deadlock with a running job.
+    std::vector<std::pair<std::string, const ProgramCache*>> caches;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      caches.reserve(tag_caches_.size());
+      for (const auto& [tag, cache] : tag_caches_) {
+        caches.emplace_back(tag, cache.get());
+      }
+    }
+    for (const auto& [tag, cache] : caches) {
+      snapshot.CaptureCache(*cache, tag);
+    }
+  }
+  return snapshot.SaveToFile(path);
 }
 
 }  // namespace ansor

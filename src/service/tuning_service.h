@@ -46,9 +46,11 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/scheduler/task_scheduler.h"
+#include "src/store/artifact_store.h"
 
 namespace ansor {
 
@@ -113,6 +115,10 @@ struct JobReport {
   // artifacts this job consumed that a *different* task compiled — the
   // cross-task reuse the per-tag shared caches exist for.
   ProgramCacheClientStats cache;
+  // This job's contribution to the fleet record store (zeros when the
+  // service has none): records it appended as new signatures vs records the
+  // fleet had already seen. Exact even with concurrent tenants.
+  RecordClientStats records;
 
   double CrossTaskHitRate() const { return cache.CrossClientHitRate(); }
 };
@@ -156,6 +162,17 @@ struct TuningServiceOptions {
   // tag (or with a cache already injected via SearchOptions) keep their own.
   bool share_caches_by_tag = true;
   size_t shared_cache_capacity = ProgramCache::kDefaultCapacity;
+  // Fleet-wide record store: when set, every job's valid measurements are
+  // appended here (deduplicated by signature, attributed per (job, task)
+  // client id — see JobReport::records). Not owned; must outlive the
+  // service. Feeds the transfer-learned cost model (TrainFromStore).
+  RecordStore* record_store = nullptr;
+  // Artifact-store file (ArtifactStore::SaveToFile / SaveWarmState) loaded
+  // at construction. Each per-tag shared cache is warm-started from it the
+  // first time a task of the matching DAG runs, so a restarted service
+  // re-lowers nothing the previous incarnation already compiled. Empty =
+  // cold start.
+  std::string warm_start_path;
 };
 
 class TuningService {
@@ -177,14 +194,27 @@ class TuningService {
 
   const TuningServiceOptions& options() const { return options_; }
   // Aggregate counters over the per-tag shared caches (fleet-wide view; a
-  // job's own share is in its JobReport).
+  // job's own share is in its JobReport). warm_inserts counts artifacts
+  // restored from warm_start_path rather than compiled.
   ProgramCacheStats SharedCacheStats() const;
   size_t shared_cache_count() const;
+
+  // Captures every per-tag shared cache into an ArtifactStore (snapshots
+  // tagged with their cache's tag) and writes it to `path` — the file a
+  // future service passes as warm_start_path. Safe while jobs run (caches
+  // are captured shard-by-shard); for a complete snapshot, WaitAll() first.
+  bool SaveWarmState(const std::string& path) const;
+  // Result of loading warm_start_path at construction (ok == false with all
+  // zeros when no path was given).
+  const ArtifactLoadStats& warm_start_stats() const { return warm_start_stats_; }
 
  private:
   void DriverLoop();
   void RunJob(JobState* job);
   ProgramCache* SharedCacheForTag(const std::string& tag);
+  // Installs the warm store's artifacts for `dag` into `cache`, once per
+  // (cache, task) pair (idempotent across jobs and rounds).
+  void WarmTagCache(ProgramCache* cache, const std::shared_ptr<const ComputeDAG>& dag);
 
   TuningServiceOptions options_;
   ThreadPool workers_;
@@ -193,6 +223,11 @@ class TuningService {
   std::deque<std::shared_ptr<JobState>> queue_;
   std::vector<std::shared_ptr<JobState>> jobs_;
   std::unordered_map<std::string, std::unique_ptr<ProgramCache>> tag_caches_;
+  // Warm-start state: snapshots loaded from warm_start_path, and which
+  // (cache, task) pairs have already been warmed (guarded by mu_).
+  ArtifactStore warm_store_;
+  ArtifactLoadStats warm_start_stats_;
+  std::unordered_map<ProgramCache*, std::unordered_set<uint64_t>> warmed_;
   std::atomic<uint64_t> next_client_id_{1};
   std::atomic<int64_t> next_job_id_{1};
   bool shutdown_ = false;

@@ -1,0 +1,126 @@
+// Persisted program-artifact snapshots: the warm-start half of the store
+// layer.
+//
+// A tuning run's ProgramCache holds everything expensive the run derived —
+// lowered programs' feature matrices, legality flags, per-machine resource
+// verdicts — keyed by (task, step signature). An ArtifactStore captures that
+// cache into serializable ArtifactSnapshots and restores it later, so a
+// resumed (or fleet warm-started) run rebuilds nothing it has already seen:
+// WarmCache installs lazy artifacts (src/program/program_artifact.h) that
+// serve population scoring and static filtering straight from the snapshot
+// and only re-lower on genuine demand.
+//
+// Snapshots are also the feature source for the transfer-learned cost model:
+// TrainFromStore joins TuningRecords against Find(task_id, signature) to
+// recover each measured program's feature matrix without re-lowering it.
+//
+// The on-disk container mirrors the record store's: an interned string
+// table, length-prefixed snapshot bodies (a corrupted snapshot is skipped
+// and counted, never crashes the loader), and a fixed magic for detection.
+#ifndef ANSOR_SRC_STORE_ARTIFACT_STORE_H_
+#define ANSOR_SRC_STORE_ARTIFACT_STORE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/features/feature_matrix.h"
+#include "src/ir/steps.h"
+
+namespace ansor {
+
+class ComputeDAG;
+class ProgramCache;
+
+// Everything a warm ProgramArtifact restore needs, plus the cache tag it was
+// captured from (so a multi-tag service warms each shared cache with its own
+// tag's artifacts).
+struct ArtifactSnapshot {
+  uint64_t task_id = 0;  // producing DAG's canonical hash
+  std::string tag;       // owning cache's tag ("" = untagged / single tuner)
+  std::vector<Step> steps;
+  bool lowering_ok = false;
+  bool structurally_legal = false;
+  FeatureMatrix features;  // empty when lowering_ok is false
+  // (machine fingerprint, passed) summaries of memoized resource verdicts.
+  std::vector<std::pair<uint64_t, bool>> resource_verdicts;
+};
+
+// Result of loading a serialized artifact store. `ok` means the container
+// was recognized and its tables decoded; `skipped` counts individually
+// corrupted snapshot bodies that were dropped.
+struct ArtifactLoadStats {
+  bool ok = false;
+  size_t loaded = 0;
+  size_t skipped = 0;
+
+  explicit operator bool() const { return ok; }
+};
+
+struct ArtifactStoreStats {
+  int64_t added = 0;         // snapshots accepted as new (task, signature) keys
+  int64_t deduplicated = 0;  // snapshots dropped as duplicates
+};
+
+class ArtifactStore {
+ public:
+  ArtifactStore() = default;
+
+  ArtifactStore(const ArtifactStore&) = delete;
+  ArtifactStore& operator=(const ArtifactStore&) = delete;
+
+  // Adds a snapshot (thread-safe), deduplicating by (task_id, step
+  // signature) — the same content address the ProgramCache uses. Returns
+  // true when stored; a duplicate is dropped (first capture wins; artifacts
+  // are pure functions of the key, so duplicates carry nothing new).
+  bool Add(ArtifactSnapshot snapshot);
+
+  size_t size() const;
+  ArtifactStoreStats stats() const;
+
+  // Borrowed view, insertion-ordered: stable only while no concurrent Add
+  // runs (the load-once-then-read warm-start pattern).
+  const std::vector<ArtifactSnapshot>& snapshots() const { return snapshots_; }
+
+  // The snapshot for (task_id, signature), or nullptr. Borrowed, same
+  // stability contract as snapshots(). This is TrainFromStore's feature
+  // join.
+  const ArtifactSnapshot* Find(uint64_t task_id, const std::string& signature) const;
+
+  // Captures every artifact resident in `cache` as a snapshot tagged `tag`
+  // (duplicates against already-stored snapshots are deduplicated). Returns
+  // the number of snapshots newly added.
+  size_t CaptureCache(const ProgramCache& cache, const std::string& tag = "");
+
+  // Installs a warm (lazy) ProgramArtifact into `cache` for every stored
+  // snapshot whose task_id matches dag->CanonicalHash(). The artifacts serve
+  // features and legality immediately and re-lower only on demand, so a
+  // search that only re-encounters snapshot programs reports zero cache
+  // misses. Returns the number of artifacts inserted (collisions with
+  // already-resident entries are skipped).
+  size_t WarmCache(ProgramCache* cache, std::shared_ptr<const ComputeDAG> dag) const;
+
+  // --- Persistence -----------------------------------------------------------
+
+  std::string Serialize() const;
+  // Parses `bytes` and Adds every well-formed snapshot under dedup.
+  ArtifactLoadStats Deserialize(const std::string& bytes);
+  bool SaveToFile(const std::string& path) const;
+  ArtifactLoadStats LoadFromFile(const std::string& path);
+
+ private:
+  bool AddLocked(ArtifactSnapshot snapshot);
+
+  mutable std::mutex mu_;
+  std::vector<ArtifactSnapshot> snapshots_;
+  // "<task id>|<StepSignature>" -> slot in snapshots_.
+  std::unordered_map<std::string, size_t> by_key_;
+  ArtifactStoreStats stats_;
+};
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_STORE_ARTIFACT_STORE_H_

@@ -6,7 +6,15 @@
 #include "src/costmodel/cost_model.h"
 #include "src/costmodel/gbdt.h"
 #include "src/costmodel/metrics.h"
+#include "src/dag/compute_dag.h"
+#include "src/ir/state.h"
+#include "src/ir/steps.h"
+#include "src/program/program_cache.h"
+#include "src/store/artifact_store.h"
+#include "src/store/bytes.h"
+#include "src/store/record_store.h"
 #include "src/support/rng.h"
+#include "tests/testing.h"
 
 namespace ansor {
 namespace {
@@ -277,6 +285,146 @@ TEST(CostModelTest, RandomModelIsUniform) {
   auto preds = model.Predict(programs);
   EXPECT_NE(preds[0], preds[1]);
   EXPECT_LT(preds[2], 0.0);  // invalid program
+}
+
+TEST(Gbdt, BinaryCodecRoundTripsBitExact) {
+  Rng rng(11);
+  GbdtDataset train = MakeSyntheticDataset(100, 2, &rng);
+  Gbdt model;
+  model.Train(train);
+  ASSERT_TRUE(model.trained());
+
+  ByteWriter w;
+  model.EncodeTo(&w);
+  std::string bytes = w.buffer();
+  ByteReader r(bytes);
+  Gbdt decoded;
+  ASSERT_TRUE(decoded.DecodeFrom(&r));
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(decoded.trees().size(), model.trees().size());
+  EXPECT_EQ(decoded.base_score(), model.base_score());
+  for (int i = 0; i < 50; ++i) {
+    std::vector<float> row(8);
+    for (auto& v : row) {
+      v = static_cast<float>(rng.Uniform());
+    }
+    EXPECT_EQ(decoded.PredictRow(row), model.PredictRow(row));  // bit-identical
+  }
+}
+
+TEST(Gbdt, CorruptedCodecInputRejected) {
+  Rng rng(12);
+  GbdtDataset train = MakeSyntheticDataset(40, 1, &rng);
+  Gbdt model;
+  model.Train(train);
+  ByteWriter w;
+  model.EncodeTo(&w);
+  std::string bytes = w.buffer();
+  for (size_t cut = 0; cut < bytes.size(); cut += 13) {
+    ByteReader r(bytes.data(), cut);
+    Gbdt decoded;
+    EXPECT_FALSE(decoded.DecodeFrom(&r)) << "cut=" << cut;  // must not crash
+  }
+}
+
+TEST(CostModelTest, SaveLoadContinuesTrainingExactly) {
+  Rng rng(21);
+  auto random_program = [&rng](int rows) {
+    FeatureMatrix m;
+    for (int r = 0; r < rows; ++r) {
+      std::vector<float> row(8);
+      for (auto& v : row) {
+        v = static_cast<float>(rng.Uniform());
+      }
+      m.AppendRow(row);
+    }
+    return m;
+  };
+  GbdtCostModel original;
+  std::vector<FeatureMatrix> batch1 = {random_program(2), random_program(3),
+                                       random_program(1)};
+  original.Update(7, batch1, {1e9, 3e9, 2e9});
+
+  GbdtCostModel loaded;
+  ASSERT_TRUE(loaded.Deserialize(original.Serialize()));
+  EXPECT_EQ(loaded.num_samples(), original.num_samples());
+
+  std::vector<FeatureMatrix> probes = {random_program(2), random_program(4)};
+  EXPECT_EQ(loaded.Predict(probes), original.Predict(probes));  // bit-identical
+
+  // Updating both with the same new measurements must keep them identical:
+  // the load restored the full training state, not just the forest.
+  std::vector<FeatureMatrix> batch2 = {random_program(2)};
+  original.Update(8, batch2, {5e9});
+  loaded.Update(8, batch2, {5e9});
+  EXPECT_EQ(loaded.Predict(probes), original.Predict(probes));
+
+  GbdtCostModel garbage;
+  EXPECT_FALSE(garbage.Deserialize("not a model file"));
+  EXPECT_FALSE(garbage.Deserialize(std::string()));
+}
+
+TEST(CostModelTest, TrainFromStoreMatchesLiveUpdates) {
+  auto dag = std::make_shared<const ComputeDAG>(testing::Matmul(16, 16, 16));
+  std::vector<State> programs;
+  {
+    State s(dag.get());
+    ASSERT_TRUE(s.Split("C", 0, {4}));
+    programs.push_back(std::move(s));
+  }
+  {
+    State s(dag.get());
+    ASSERT_TRUE(s.Split("C", 1, {8}));
+    programs.push_back(std::move(s));
+  }
+  {
+    State s(dag.get());
+    ASSERT_TRUE(s.Fuse("C", 0, 2));
+    programs.push_back(std::move(s));
+  }
+  ProgramCache cache(16, 1);
+  std::vector<FeatureMatrix> features;
+  for (const State& s : programs) {
+    features.push_back(cache.GetOrBuild(s)->features());
+  }
+  std::vector<double> throughputs = {1e9, 4e9, 2e9};
+
+  // The fleet's persisted view of the same measurements.
+  ArtifactStore artifacts;
+  artifacts.CaptureCache(cache);
+  RecordStore records;
+  for (size_t i = 0; i < programs.size(); ++i) {
+    TuningRecord r;
+    r.task_id = dag->CanonicalHash();
+    r.seconds = 1e-3 / (1.0 + static_cast<double>(i));
+    r.throughput = throughputs[i];
+    r.steps = programs[i].steps();
+    records.Add(std::move(r));
+  }
+
+  GbdtCostModel live;
+  live.Update(dag->CanonicalHash(), features, throughputs);
+  GbdtCostModel transfer;
+  TrainFromStoreStats stats = transfer.TrainFromStore(records, artifacts);
+  EXPECT_EQ(stats.used, 3u);
+  EXPECT_EQ(stats.missing_features, 0u);
+  EXPECT_EQ(transfer.num_samples(), live.num_samples());
+  EXPECT_EQ(transfer.Predict(features), live.Predict(features));  // bit-identical
+}
+
+TEST(CostModelTest, TrainFromStoreCountsMissingFeatures) {
+  RecordStore records;
+  TuningRecord r;
+  r.task_id = 123;
+  r.seconds = 1e-3;
+  r.steps = {MakeSplitStep("C", 0, {4})};
+  records.Add(std::move(r));
+  ArtifactStore artifacts;  // empty: no features for anything
+  GbdtCostModel model;
+  TrainFromStoreStats stats = model.TrainFromStore(records, artifacts);
+  EXPECT_EQ(stats.used, 0u);
+  EXPECT_EQ(stats.missing_features, 1u);
+  EXPECT_EQ(model.num_samples(), 0u);
 }
 
 TEST(Metrics, PairwiseAccuracy) {

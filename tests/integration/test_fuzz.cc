@@ -4,11 +4,17 @@
 // routinely produces and discards such candidates.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "src/costmodel/cost_model.h"
 #include "src/exec/interpreter.h"
 #include "src/hwsim/measurer.h"
+#include "src/program/program_cache.h"
 #include "src/sampler/annotation.h"
 #include "src/search/record_log.h"
 #include "src/sketch/sketch.h"
+#include "src/store/artifact_store.h"
+#include "src/store/record_store.h"
 #include "tests/testing.h"
 
 namespace ansor {
@@ -109,6 +115,161 @@ TEST_P(RecordFuzz, GarbageRecordLinesNeverAbort) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RecordFuzz, ::testing::Range(0, 4));
+
+// A well-formed binary record container to mutate: a few tasks, realistic
+// step lists, known totals.
+std::string SeedRecordBytes() {
+  RecordStore store;
+  for (uint64_t task = 1; task <= 3; ++task) {
+    for (int i = 0; i < 5; ++i) {
+      TuningRecord r;
+      r.task_id = task;
+      r.seconds = 1e-3 / (1 + i);
+      r.throughput = 1e9 * (1 + i);
+      r.steps = {MakeSplitStep("C", 0, {4, static_cast<int64_t>(i + 1)}),
+                 MakeAnnotationStep("C", 0, IterAnnotation::kParallel),
+                 MakePragmaStep("C", 16 * (i + 1))};
+      store.Add(std::move(r));
+    }
+  }
+  return store.Serialize();
+}
+
+class BinaryRecordFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinaryRecordFuzz, MutatedContainersNeverAbort) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1013 + 17);
+  const std::string seed = SeedRecordBytes();
+
+  // Truncation at arbitrary offsets: loaded + skipped never exceeds the
+  // record count the intact file carries, and nothing crashes.
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string cut = seed.substr(0, rng.Index(seed.size() + 1));
+    RecordStore store(RecordStore::Options{false});
+    RecordLoadStats stats = store.Deserialize(cut);
+    EXPECT_EQ(store.size(), stats.loaded);
+    EXPECT_LE(stats.loaded + stats.skipped, 15u);
+  }
+
+  // Random byte corruption (1-8 flips): decode must stay graceful, and
+  // whatever does load must replay through the text codec (i.e. the decoder
+  // never fabricates structurally broken steps).
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string bytes = seed;
+    int flips = static_cast<int>(rng.Int(1, 8));
+    for (int f = 0; f < flips; ++f) {
+      bytes[rng.Index(bytes.size())] ^= static_cast<char>(rng.Int(1, 255));
+    }
+    RecordStore::ForEachRecord(bytes, [](TuningRecord r) {
+      auto round = ParseRecord(SerializeRecord(r));
+      EXPECT_TRUE(round.has_value());
+    });
+  }
+
+  // Pure garbage, with and without a valid magic prefix.
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string bytes;
+    size_t len = rng.Index(400);
+    for (size_t c = 0; c < len; ++c) {
+      bytes += static_cast<char>(rng.Int(0, 255));
+    }
+    RecordStore store;
+    store.Deserialize(bytes);                  // must not crash
+    store.Deserialize("ANSRREC1" + bytes);     // recognized container, junk body
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinaryRecordFuzz, ::testing::Range(0, 4));
+
+class ArtifactFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArtifactFuzz, MutatedSnapshotsNeverAbort) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 271 + 31);
+  ComputeDAG dag = testing::Matmul(12, 12, 12);
+  ProgramCache cache(16, 1);
+  {
+    State a(&dag);
+    ASSERT_TRUE(a.Split("C", 0, {4}));
+    cache.GetOrBuild(a);
+    State b(&dag);
+    ASSERT_TRUE(b.Fuse("C", 0, 2));
+    cache.GetOrBuild(b);
+  }
+  ArtifactStore seed_store;
+  seed_store.CaptureCache(cache);
+  const std::string seed = seed_store.Serialize();
+
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string bytes = seed;
+    switch (trial % 3) {
+      case 0:
+        bytes = bytes.substr(0, rng.Index(bytes.size() + 1));
+        break;
+      case 1:
+        for (int f = 0; f < 4; ++f) {
+          bytes[rng.Index(bytes.size())] ^= static_cast<char>(rng.Int(1, 255));
+        }
+        break;
+      default: {
+        bytes.clear();
+        size_t len = rng.Index(300);
+        for (size_t c = 0; c < len; ++c) {
+          bytes += static_cast<char>(rng.Int(0, 255));
+        }
+        bytes = "ANSRART1" + bytes;
+        break;
+      }
+    }
+    ArtifactStore store;
+    ArtifactLoadStats stats = store.Deserialize(bytes);  // must not crash
+    EXPECT_EQ(store.size(), stats.loaded);
+    // Whatever survived must be coherent enough to warm a cache.
+    ProgramCache warm(16, 1);
+    store.WarmCache(&warm, std::make_shared<const ComputeDAG>(dag));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArtifactFuzz, ::testing::Range(0, 4));
+
+class ModelFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelFuzz, MutatedModelFilesNeverAbort) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 613 + 7);
+  GbdtCostModel seed_model;
+  std::vector<FeatureMatrix> programs;
+  for (int p = 0; p < 6; ++p) {
+    FeatureMatrix m;
+    std::vector<float> row(8);
+    for (auto& v : row) {
+      v = static_cast<float>(rng.Uniform());
+    }
+    m.AppendRow(row);
+    programs.push_back(std::move(m));
+  }
+  seed_model.Update(1, programs, {1e9, 2e9, 3e9, 4e9, 5e9, 6e9});
+  const std::string seed = seed_model.Serialize();
+
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string bytes = seed;
+    if (trial % 2 == 0) {
+      bytes = bytes.substr(0, rng.Index(bytes.size() + 1));
+    } else {
+      for (int f = 0; f < 4; ++f) {
+        bytes[rng.Index(bytes.size())] ^= static_cast<char>(rng.Int(1, 255));
+      }
+    }
+    GbdtCostModel model;
+    if (model.Deserialize(bytes)) {
+      // A load that claims success must leave a usable model.
+      std::vector<double> scores = model.Predict(programs);
+      for (double s : scores) {
+        EXPECT_TRUE(std::isfinite(s));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelFuzz, ::testing::Range(0, 4));
 
 TEST(SamplerFuzz, HighTweakProbabilityStaysSound) {
   // Force the compute-location tweak on every sample: many placements are

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "src/exec/interpreter.h"
 #include "src/sampler/annotation.h"
@@ -82,9 +83,9 @@ TEST(RecordSerialization, MalformedLinesRejected) {
 
 TEST(RecordLogTest, BestForPicksLowestLatency) {
   RecordLog log;
-  log.Add({1, 5e-3, {}});
-  log.Add({1, 2e-3, {}});
-  log.Add({2, 1e-3, {}});
+  log.Add({1, 5e-3, 0.0, {}});
+  log.Add({1, 2e-3, 0.0, {}});
+  log.Add({2, 1e-3, 0.0, {}});
   auto best = log.BestFor(1);
   ASSERT_TRUE(best.has_value());
   EXPECT_DOUBLE_EQ(best->seconds, 2e-3);
@@ -93,17 +94,66 @@ TEST(RecordLogTest, BestForPicksLowestLatency) {
 
 TEST(RecordLogTest, SerializeDeserializeAll) {
   RecordLog log;
-  log.Add({7, 1e-3, {MakeSplitStep("C", 0, {4})}});
-  log.Add({8, 2e-3, {MakeCacheWriteStep("C")}});
+  log.Add({7, 1e-3, 0.0, {MakeSplitStep("C", 0, {4})}});
+  log.Add({8, 2e-3, 0.0, {MakeCacheWriteStep("C")}});
   RecordLog copy;
   EXPECT_EQ(copy.Deserialize(log.Serialize()), 2u);
   EXPECT_EQ(copy.records().size(), 2u);
   EXPECT_EQ(copy.records()[0].task_id, 7u);
 }
 
+TEST(RecordLogTest, LoadFromFileReportsLoadedAndSkipped) {
+  // Two good lines, two malformed: the load must surface exactly what it
+  // kept and what it dropped instead of silently shrinking the log.
+  std::string path = ::testing::TempDir() + "/ansor_records_mixed.log";
+  {
+    RecordLog good;
+    good.Add({1, 1e-3, 0.0, {MakeSplitStep("C", 0, {4})}});
+    good.Add({2, 2e-3, 0.0, {MakeCacheWriteStep("C")}});
+    ASSERT_TRUE(good.SaveToFile(path));
+    std::ofstream append(path, std::ios::app);
+    append << "task=12|seconds=1e-3|steps=XX,0,4@C\n";  // unknown step kind
+    append << "total garbage line\n";
+  }
+  RecordLog loaded;
+  RecordLoadStats stats = loaded.LoadFromFile(path);
+  EXPECT_TRUE(stats);
+  EXPECT_EQ(stats.loaded, 2u);
+  EXPECT_EQ(stats.skipped, 2u);
+  EXPECT_EQ(loaded.records().size(), 2u);
+
+  RecordLoadStats missing = loaded.LoadFromFile(path + ".does_not_exist");
+  EXPECT_FALSE(missing);
+  EXPECT_EQ(missing.loaded, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(RecordLogTest, ReadsBinaryStores) {
+  // The wrapper auto-detects the fleet store's binary codec: old call sites
+  // can load new files, so the migration path runs in both directions.
+  RecordStore store;
+  TuningRecord r;
+  r.task_id = 9;
+  r.seconds = 4e-3;
+  r.throughput = 2e9;
+  r.steps = {MakeSplitStep("C", 0, {2})};
+  store.Add(std::move(r));
+  std::string path = ::testing::TempDir() + "/ansor_records_binary.bin";
+  ASSERT_TRUE(store.SaveToFile(path, RecordCodec::kBinary));
+
+  RecordLog log;
+  RecordLoadStats stats = log.LoadFromFile(path);
+  EXPECT_TRUE(stats);
+  EXPECT_TRUE(stats.index_ok);
+  ASSERT_EQ(log.records().size(), 1u);
+  EXPECT_EQ(log.records()[0].task_id, 9u);
+  EXPECT_DOUBLE_EQ(log.records()[0].throughput, 2e9);
+  std::remove(path.c_str());
+}
+
 TEST(RecordLogTest, FileRoundTrip) {
   RecordLog log;
-  log.Add({42, 3e-3, {MakeSplitStep("C", 1, {2, 2})}});
+  log.Add({42, 3e-3, 0.0, {MakeSplitStep("C", 1, {2, 2})}});
   std::string path = ::testing::TempDir() + "/ansor_records_test.log";
   ASSERT_TRUE(log.SaveToFile(path));
   RecordLog loaded;

@@ -4,11 +4,13 @@
 // cancellation under injected measurement failures: no hang, no lost budget).
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/service/tuning_service.h"
+#include "src/store/record_store.h"
 #include "tests/testing.h"
 
 namespace ansor {
@@ -232,6 +234,90 @@ TEST(TuningService, ReportTimingAndStatusNames) {
   EXPECT_STREQ(JobStatusName(JobStatus::kDeadlineExceeded), "deadline_exceeded");
   EXPECT_TRUE(IsTerminal(JobStatus::kCancelled));
   EXPECT_FALSE(IsTerminal(JobStatus::kRunning));
+}
+
+TEST(TuningService, FleetRecordStoreAttributionIsExact) {
+  RecordStore store;
+  TuningServiceOptions service_options;
+  service_options.num_workers = 2;
+  service_options.max_concurrent_jobs = 2;
+  service_options.record_store = &store;
+  TuningService service(service_options);
+  Measurer measurer_a(MachineModel::IntelCpu20Core());
+  Measurer measurer_b(MachineModel::IntelCpu20Core());
+  GbdtCostModel model_a;
+  GbdtCostModel model_b;
+  JobHandle a = service.Submit(MakeJob(0, 2, &measurer_a, &model_a));
+  JobHandle b = service.Submit(MakeJob(1, 2, &measurer_b, &model_b));
+  service.WaitAll();
+
+  EXPECT_GT(store.size(), 0u);
+  const JobReport& report_a = a.report();
+  const JobReport& report_b = b.report();
+  EXPECT_GT(report_a.records.appended, 0);
+  EXPECT_GT(report_b.records.appended, 0);
+
+  // Every Add is attributed to exactly one (job, task) client, so the per-job
+  // shares must sum to the fleet-wide counters even with concurrent tenants.
+  RecordStoreStats totals = store.stats();
+  EXPECT_EQ(report_a.records.appended + report_b.records.appended,
+            totals.appended);
+  EXPECT_EQ(report_a.records.deduplicated + report_b.records.deduplicated,
+            totals.deduplicated);
+  EXPECT_EQ(store.size(), static_cast<size_t>(totals.appended));
+
+  // Live measurements carry throughput into the store (the transfer-learning
+  // training signal a text log would have dropped).
+  for (const TuningRecord& record : store.Snapshot()) {
+    EXPECT_GT(record.throughput, 0.0);
+  }
+}
+
+TEST(TuningService, WarmStartResumeIsBitIdenticalWithZeroRebuilds) {
+  std::string path = ::testing::TempDir() + "/ansor_service_warm_state.bin";
+  std::vector<double> cold_best;
+  {
+    TuningServiceOptions service_options;
+    service_options.num_workers = 1;
+    TuningService service(service_options);
+    EXPECT_FALSE(service.warm_start_stats().ok);  // no path given: cold start
+    Measurer measurer(MachineModel::IntelCpu20Core());
+    GbdtCostModel model;
+    JobHandle handle = service.Submit(MakeJob(0, 3, &measurer, &model));
+    service.WaitAll();
+    cold_best = handle.report().best_seconds;
+    EXPECT_GT(service.SharedCacheStats().misses, 0);  // cold run compiled
+    ASSERT_TRUE(service.SaveWarmState(path));
+  }
+  {
+    TuningServiceOptions service_options;
+    service_options.num_workers = 1;
+    service_options.warm_start_path = path;
+    TuningService service(service_options);
+    ASSERT_TRUE(service.warm_start_stats().ok);
+    EXPECT_GT(service.warm_start_stats().loaded, 0u);
+    EXPECT_EQ(service.warm_start_stats().skipped, 0u);
+
+    Measurer measurer(MachineModel::IntelCpu20Core());
+    GbdtCostModel model;
+    JobHandle handle = service.Submit(MakeJob(0, 3, &measurer, &model));
+    service.WaitAll();
+
+    // The resumed run retraces the cold run exactly, and every program it
+    // needs was captured: zero artifacts are rebuilt.
+    ProgramCacheStats stats = service.SharedCacheStats();
+    EXPECT_GT(stats.warm_inserts, 0);
+    EXPECT_GT(stats.hits, 0);
+    EXPECT_EQ(stats.misses, 0);
+
+    // Warm start is an optimization, not a behavior change: bit-identical.
+    const std::vector<double>& warm_best = handle.report().best_seconds;
+    ASSERT_EQ(warm_best.size(), cold_best.size());
+    for (size_t t = 0; t < cold_best.size(); ++t) {
+      EXPECT_DOUBLE_EQ(warm_best[t], cold_best[t]);
+    }
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace
