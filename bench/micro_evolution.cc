@@ -116,14 +116,25 @@ int Run() {
               static_cast<long long>(invalid_on), static_cast<long long>(measures_on),
               static_cast<long long>(rejected_on));
 
+  // The shared metrics block: mirror the components this bench exercised
+  // into a registry and embed the flat readings.
+  MetricsRegistry registry;
+  registry.SetGauge("evolution.children_per_sec", children_per_sec, "children/s");
+  registry.SetGauge("evolution.attempts_per_sec", attempts_per_sec, "children/s");
+  registry.SetGauge("evolution.crossover_score_hit_rate", hit_rate, "ratio");
+  cache.ExportMetrics(&registry, "cache");
+  model.ExportMetrics(&registry, "model");
+  measurer.ExportMetrics(&registry, "measurer");
+
   std::printf("BENCH_JSON {\"bench\":\"micro_evolution\",\"children_per_sec\":%.1f,"
               "\"attempts_per_sec\":%.1f,\"cache_hit_rate\":%.4f,"
               "\"program_cache_hit_rate\":%.4f,\"statically_rejected\":%lld,"
               "\"invalid_measures_verify_off\":%lld,\"invalid_measures_verify_on\":%lld,"
-              "\"threads\":%zu}\n",
+              "\"threads\":%zu,%s}\n",
               children_per_sec, attempts_per_sec, hit_rate, program_hit_rate,
               static_cast<long long>(rejected_on), static_cast<long long>(invalid_off),
-              static_cast<long long>(invalid_on), ThreadPool::Global().num_threads());
+              static_cast<long long>(invalid_on), ThreadPool::Global().num_threads(),
+              MetricsBlock(registry).c_str());
   return 0;
 }
 

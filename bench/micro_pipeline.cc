@@ -117,12 +117,21 @@ int Run() {
               "legal rate %.1f%%)\n",
               static_cast<long long>(verify_lookups), verify_elapsed, verify_per_sec,
               100.0 * legal_rate);
+  MetricsRegistry registry;
+  registry.SetGauge("pipeline.cold_builds_per_sec", cold_per_sec, "builds/s");
+  registry.SetGauge("pipeline.warm_lookups_per_sec", warm_per_sec, "lookups/s");
+  registry.SetGauge("pipeline.verify_lookups_per_sec", verify_per_sec, "lookups/s");
+  warm.ExportMetrics(&registry, "cache");
+  measurer.ExportMetrics(&registry, "measurer");
+  model.ExportMetrics(&registry, "model");
+
   std::printf("BENCH_JSON {\"bench\":\"micro_pipeline\",\"cold_builds_per_sec\":%.1f,"
               "\"warm_lookups_per_sec\":%.1f,\"speedup\":%.2f,\"hit_rate\":%.4f,"
               "\"chain_extra_compiles\":%lld,\"verify_lookups_per_sec\":%.1f,"
-              "\"verifier_legal_rate\":%.4f}\n",
+              "\"verifier_legal_rate\":%.4f,%s}\n",
               cold_per_sec, warm_per_sec, speedup, warm_stats.HitRate(),
-              static_cast<long long>(chain_compiles), verify_per_sec, legal_rate);
+              static_cast<long long>(chain_compiles), verify_per_sec, legal_rate,
+              MetricsBlock(registry).c_str());
   return 0;
 }
 

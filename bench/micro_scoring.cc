@@ -120,11 +120,21 @@ int Run() {
     return 1;
   }
 
+  MetricsRegistry registry;
+  registry.SetGauge("scoring.extract_rows_per_sec", extract_rows_per_sec, "rows/s");
+  registry.SetGauge("scoring.predict_scalar_rows_per_sec", scalar_rows_per_sec, "rows/s");
+  registry.SetGauge("scoring.predict_batched_rows_per_sec", batched_rows_per_sec,
+                    "rows/s");
+  cache.ExportMetrics(&registry, "cache");
+  measurer.ExportMetrics(&registry, "measurer");
+  model.ExportMetrics(&registry, "model");
+
   std::printf("BENCH_JSON {\"bench\":\"micro_scoring\",\"extract_rows_per_sec\":%.1f,"
               "\"predict_scalar_rows_per_sec\":%.1f,\"predict_batched_rows_per_sec\":%.1f,"
-              "\"predict_speedup\":%.3f,\"bitexact\":%d,\"rows\":%zu,\"trees\":%zu}\n",
+              "\"predict_speedup\":%.3f,\"bitexact\":%d,\"rows\":%zu,\"trees\":%zu,%s}\n",
               extract_rows_per_sec, scalar_rows_per_sec, batched_rows_per_sec, speedup,
-              mismatches == 0 ? 1 : 0, rows.size(), n_trees);
+              mismatches == 0 ? 1 : 0, rows.size(), n_trees,
+              MetricsBlock(registry).c_str());
   return 0;
 }
 

@@ -50,6 +50,9 @@ struct ModeResult {
   double sum_turnaround_seconds = 0.0;
   int64_t cross_task_hits = 0;
   int64_t cache_lookups = 0;
+  // Flat readings of the service's own MetricsRegistry (the shared
+  // BENCH_JSON metrics schema).
+  std::string metrics_samples_json = "[]";
 };
 
 ModeResult RunMode(int max_concurrent_jobs, int rounds_per_job) {
@@ -99,6 +102,8 @@ ModeResult RunMode(int max_concurrent_jobs, int rounds_per_job) {
     result.cross_task_hits += report.cache.cross_client_hits;
     result.cache_lookups += report.cache.lookups;
   }
+  service.MetricsSnapshotJson();  // refresh the mirrored component gauges
+  result.metrics_samples_json = service.metrics()->SamplesJson();
   result.ok = true;
   return result;
 }
@@ -154,10 +159,11 @@ int Run() {
               "\"overlapped_sum_turnaround_s\":%.3f,\"overlap_speedup\":%.2f,"
               "\"p50_turnaround_s\":%.3f,\"p95_turnaround_s\":%.3f,"
               "\"p99_turnaround_s\":%.3f,\"cross_task_hits\":%lld,"
-              "\"cross_task_hit_rate\":%.4f}\n",
+              "\"cross_task_hit_rate\":%.4f,\"metrics\":%s}\n",
               kJobs, kWorkers, rounds_per_job, serial.sum_turnaround_seconds,
               overlapped.sum_turnaround_seconds, speedup, p50, p95, p99,
-              static_cast<long long>(overlapped.cross_task_hits), cross_rate);
+              static_cast<long long>(overlapped.cross_task_hits), cross_rate,
+              overlapped.metrics_samples_json.c_str());
   return 0;
 }
 

@@ -213,6 +213,14 @@ int Run() {
               "(%.3fx)\n",
               budget, cold_best, pretrained_best, transfer_gain);
 
+  MetricsRegistry registry;
+  registry.SetGauge("store.binary_bytes", static_cast<double>(binary_bytes), "bytes");
+  registry.SetGauge("store.warm_speedup", warm_speedup, "ratio");
+  registry.SetGauge("store.transfer_gain", transfer_gain, "ratio");
+  history.ExportMetrics(&registry, "store");
+  warm_cache.ExportMetrics(&registry, "cache");
+  pretrained.ExportMetrics(&registry, "model");
+
   std::printf(
       "BENCH_JSON {\"bench\":\"micro_store\",\"records\":%zu,"
       "\"text_bytes\":%zu,\"binary_bytes\":%zu,\"size_ratio\":%.3f,"
@@ -222,12 +230,12 @@ int Run() {
       "\"cold_build_sec\":%.4f,\"warm_start_sec\":%.4f,\"warm_speedup\":%.3f,"
       "\"warm_misses\":%lld,\"train_from_store_samples\":%zu,"
       "\"cold_best_seconds\":%.6g,\"pretrained_best_seconds\":%.6g,"
-      "\"transfer_gain\":%.3f}\n",
+      "\"transfer_gain\":%.3f,%s}\n",
       n_records, text_bytes, binary_bytes, size_ratio, text_load_sec, binary_load_sec,
       load_speedup, text_rebuild_sec, binary_rebuild_sec, rebuild_speedup,
       cold_build_sec, warm_start_sec, warm_speedup,
       static_cast<long long>(warm_stats.misses), train_stats.used, cold_best,
-      pretrained_best, transfer_gain);
+      pretrained_best, transfer_gain, MetricsBlock(registry).c_str());
   return 0;
 }
 

@@ -5,6 +5,10 @@
 # and search-path throughput (and the verifier's filtering win) can be
 # compared across commits.
 #
+# Every snapshot also carries a shared "metrics":[{name,value,unit},...]
+# block — the bench's MetricsRegistry readings (see bench_util.h
+# MetricsBlock) — so one schema covers all five benches.
+#
 # Usage: bench/snapshot.sh [build_dir]   (default: build)
 set -euo pipefail
 
@@ -21,6 +25,10 @@ for bench in micro_evolution micro_pipeline micro_scoring micro_service micro_st
   "$bin" | sed -n 's/^BENCH_JSON //p' > "$out"
   if [[ ! -s "$out" ]]; then
     echo "error: $bench printed no BENCH_JSON line" >&2
+    exit 1
+  fi
+  if ! grep -q '"metrics":\[' "$out"; then
+    echo "error: $bench snapshot is missing the shared metrics block" >&2
     exit 1
   fi
   echo "wrote $out: $(cat "$out")"

@@ -315,22 +315,30 @@ std::string VerifierReport::ToString() const {
   return os.str();
 }
 
-VerifierReport VerifyProgram(const State& state, const LoweredProgram& program) {
+VerifierReport VerifyProgram(const State& state, const LoweredProgram& program,
+                             const Tracer* tracer) {
+  TraceSpan span(tracer, "verify_structural", "analysis");
   VerifierReport report;
   CheckVerdict& lowering = report.check(VerifierCheck::kLowering);
   if (!program.ok) {
     lowering.verdict = VerifierVerdict::kFail;
     lowering.diagnostics.push_back(program.error.empty() ? "lowering failed" : program.error);
+    span.Arg("outcome", "lowering_failed");
     return report;  // structural checks need a loop tree; leave them skipped
   }
   lowering.verdict = VerifierVerdict::kPass;
   CheckBufferBounds(program, &report.check(VerifierCheck::kBufferBounds));
   CheckIteratorDomains(state, &report.check(VerifierCheck::kIteratorDomain));
   CheckDefBeforeUse(program, &report.check(VerifierCheck::kDefBeforeUse));
+  if (span.enabled()) {
+    span.Arg("outcome", report.legal() ? "legal" : "illegal");
+  }
   return report;
 }
 
-CheckVerdict VerifyResources(const LoweredProgram& program, const MachineModel& machine) {
+CheckVerdict VerifyResources(const LoweredProgram& program, const MachineModel& machine,
+                             const Tracer* tracer) {
+  TraceSpan span(tracer, "verify_resources", "analysis");
   CheckVerdict verdict;
   if (!program.ok) {
     return verdict;  // kSkipped: nothing to check

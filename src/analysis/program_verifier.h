@@ -47,6 +47,7 @@
 
 #include "src/hwsim/machine_model.h"
 #include "src/lower/loop_tree.h"
+#include "src/telemetry/trace.h"
 
 namespace ansor {
 
@@ -102,13 +103,17 @@ struct VerifierReport {
 // Runs the machine-independent checks (kLowering, kBufferBounds,
 // kIteratorDomain, kDefBeforeUse). Pure function of its arguments; `program`
 // must be the lowering of `state`. kResourceLimits is left kSkipped — see
-// VerifyResources.
-VerifierReport VerifyProgram(const State& state, const LoweredProgram& program);
+// VerifyResources. A non-null `tracer` records the consult as a
+// "verify_structural" span (the verdict is unaffected).
+VerifierReport VerifyProgram(const State& state, const LoweredProgram& program,
+                             const Tracer* tracer = nullptr);
 
 // Runs the machine-dependent resource checks against one machine model. Pure
 // function of its arguments; returns kSkipped when the program's lowering
-// failed (there is nothing to check).
-CheckVerdict VerifyResources(const LoweredProgram& program, const MachineModel& machine);
+// failed (there is nothing to check). A non-null `tracer` records the
+// consult as a "verify_resources" span.
+CheckVerdict VerifyResources(const LoweredProgram& program, const MachineModel& machine,
+                             const Tracer* tracer = nullptr);
 
 // Resolves the effective verification level: the configured level, raised to
 // at least 2 (invariant mode) when the ANSOR_CHECK_INVARIANTS environment

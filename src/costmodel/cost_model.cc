@@ -20,6 +20,13 @@ CostModel::CostModel() {
   model_id_ = next_id.fetch_add(1);
 }
 
+void CostModel::ExportMetrics(MetricsRegistry* registry, const std::string& prefix) const {
+  registry->SetGauge(prefix + ".version", static_cast<double>(version()));
+  registry->SetGauge(prefix + ".train_calls", static_cast<double>(train_calls()));
+  registry->SetGauge(prefix + ".programs_predicted",
+                     static_cast<double>(programs_predicted()));
+}
+
 std::vector<double> CostModel::PredictBatch(
     const std::vector<const FeatureMatrix*>& programs) {
   std::vector<FeatureMatrix> copy;
@@ -57,6 +64,7 @@ void GbdtCostModel::Update(uint64_t task_id,
     best = std::max(best, throughputs[i]);
   }
   Retrain();
+  CountTrain();
   BumpVersion();  // invalidates stage-score memos on cached artifacts
 }
 
@@ -102,9 +110,16 @@ TrainFromStoreStats GbdtCostModel::TrainFromStore(const RecordStore& records,
   }
   if (stats.used > 0) {
     Retrain();
+    CountTrain();
     BumpVersion();
   }
   return stats;
+}
+
+void GbdtCostModel::ExportMetrics(MetricsRegistry* registry,
+                                  const std::string& prefix) const {
+  CostModel::ExportMetrics(registry, prefix);
+  registry->SetGauge(prefix + ".samples", static_cast<double>(num_samples()));
 }
 
 namespace {
@@ -240,6 +255,7 @@ std::vector<double> GbdtCostModel::Predict(
 
 std::vector<double> GbdtCostModel::PredictBatch(
     const std::vector<const FeatureMatrix*>& programs) {
+  CountPredict(static_cast<int64_t>(programs.size()));
   std::vector<double> scores(programs.size(), 0.0);
   if (!model_.trained()) {
     for (size_t p = 0; p < programs.size(); ++p) {
@@ -278,6 +294,7 @@ std::vector<double> GbdtCostModel::PredictBatch(
 }
 
 std::vector<double> GbdtCostModel::PredictStatements(const FeatureMatrix& rows) {
+  CountPredict(1);
   std::vector<double> scores(rows.rows(), 0.0);
   if (!model_.trained() || rows.empty()) {
     return scores;
@@ -293,6 +310,7 @@ std::vector<double> GbdtCostModel::PredictStatements(const FeatureMatrix& rows) 
 
 std::vector<std::vector<double>> GbdtCostModel::PredictStatementsBatch(
     const std::vector<const FeatureMatrix*>& programs) {
+  CountPredict(static_cast<int64_t>(programs.size()));
   std::vector<std::vector<double>> scores(programs.size());
   std::vector<const float*> rows;
   for (const FeatureMatrix* m : programs) {
@@ -316,6 +334,7 @@ std::vector<std::vector<double>> GbdtCostModel::PredictStatementsBatch(
 
 std::vector<double> RandomCostModel::Predict(
     const std::vector<FeatureMatrix>& program_features) {
+  CountPredict(static_cast<int64_t>(program_features.size()));
   std::vector<double> scores;
   scores.reserve(program_features.size());
   for (const FeatureMatrix& m : program_features) {
@@ -328,6 +347,7 @@ std::vector<double> RandomCostModel::PredictBatch(
     const std::vector<const FeatureMatrix*>& programs) {
   // Same draws as Predict, without the default implementation's deep copy of
   // feature matrices it would never read.
+  CountPredict(static_cast<int64_t>(programs.size()));
   std::vector<double> scores;
   scores.reserve(programs.size());
   for (const FeatureMatrix* m : programs) {

@@ -11,6 +11,7 @@
 #ifndef ANSOR_SRC_COSTMODEL_COST_MODEL_H_
 #define ANSOR_SRC_COSTMODEL_COST_MODEL_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -19,6 +20,7 @@
 #include "src/costmodel/gbdt.h"
 #include "src/features/feature_extraction.h"
 #include "src/support/rng.h"
+#include "src/telemetry/metrics.h"
 
 namespace ansor {
 
@@ -89,12 +91,31 @@ class CostModel {
   uint64_t model_id() const { return model_id_; }
   uint64_t version() const { return version_; }
 
+  // Call-volume counters, incremented by implementations via CountTrain /
+  // CountPredict: how many Update calls retrained, and how many programs
+  // were scored across all Predict* entry points (thread-safe).
+  int64_t train_calls() const { return train_calls_.load(std::memory_order_relaxed); }
+  int64_t programs_predicted() const {
+    return programs_predicted_.load(std::memory_order_relaxed);
+  }
+
+  // Mirrors version/train/predict counters into `registry` as gauges named
+  // <prefix>.version / .train_calls / .programs_predicted. Subclasses extend
+  // (GbdtCostModel adds .samples).
+  virtual void ExportMetrics(MetricsRegistry* registry, const std::string& prefix) const;
+
  protected:
   void BumpVersion() { ++version_; }
+  void CountTrain() { train_calls_.fetch_add(1, std::memory_order_relaxed); }
+  void CountPredict(int64_t programs) {
+    programs_predicted_.fetch_add(programs, std::memory_order_relaxed);
+  }
 
  private:
   uint64_t model_id_;
   uint64_t version_ = 1;
+  std::atomic<int64_t> train_calls_{0};
+  std::atomic<int64_t> programs_predicted_{0};
 };
 
 // The learned GBDT model of §5.2.
@@ -114,6 +135,8 @@ class GbdtCostModel : public CostModel {
   size_t num_samples() const { return labels_raw_.size(); }
   // The trained model (bench / introspection).
   const Gbdt& gbdt() const { return model_; }
+
+  void ExportMetrics(MetricsRegistry* registry, const std::string& prefix) const override;
 
   // Transfer learning from the persistence layer (the paper's "single model
   // trained for all programs coming from all DAGs", across process

@@ -42,6 +42,17 @@ void AccumulateStageScores(const std::vector<double>& preds,
 
 // --- CrossoverScoreCache ------------------------------------------------------
 
+void AccumulateEvolutionStats(const EvolutionStats& delta, EvolutionStats* total) {
+  total->child_attempts += delta.child_attempts;
+  total->children_generated += delta.children_generated;
+  total->statically_rejected += delta.statically_rejected;
+  total->crossover_score_hits += delta.crossover_score_hits;
+  total->crossover_score_misses += delta.crossover_score_misses;
+  total->program_cache_hits += delta.program_cache_hits;
+  total->program_cache_misses += delta.program_cache_misses;
+  total->program_cache_evictions += delta.program_cache_evictions;
+}
+
 CrossoverScoreCache::CrossoverScoreCache(const std::vector<ProgramArtifactPtr>* artifacts,
                                          CostModel* model)
     : artifacts_(artifacts), model_(model) {
@@ -449,6 +460,7 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
   stats_ = EvolutionStats();
   const int verify_level = EffectiveVerifyLevel(options_.verify_level);
   ThreadPool& pool = ThreadPool::OrGlobal(options_.thread_pool);
+  TraceSpan evo_span(options_.tracer, "evolution", "search");
 
   // Resolve the compiled-program cache: the search policy injects its
   // task-lifetime cache; standalone callers get a private per-call one so
@@ -476,20 +488,32 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
   std::unordered_set<std::string> best_sigs;
 
   for (int gen = 0; gen <= options_.generations; ++gen) {
+    TraceSpan gen_span(evo_span.enabled()
+                           ? evo_span.child().WithGeneration(gen)
+                           : Tracer(),
+                       "generation", "search");
+    Tracer gen_tracer = gen_span.child();
+    const Tracer* gen_ptr = gen_span.enabled() ? &gen_tracer : nullptr;
     // Stage 1 (batched): resolve the whole population to ProgramArtifacts in
     // parallel — a cache hit serves the lowering + feature matrix compiled by
     // an earlier generation, round, or consumer — then score everything with
     // one batched model call over the borrowed feature matrices.
     const size_t pop = population.size();
+    gen_span.Arg("count", static_cast<int64_t>(pop));
     std::vector<ProgramArtifactPtr> artifacts(pop);
     pool.ParallelFor(pop, [&](size_t i) {
-      artifacts[i] = cache->GetOrBuild(population[i], options_.cache_client_id);
+      artifacts[i] = cache->GetOrBuild(population[i], options_.cache_client_id, gen_ptr);
     });
     std::vector<const FeatureMatrix*> feature_ptrs(pop);
     for (size_t i = 0; i < pop; ++i) {
       feature_ptrs[i] = &artifacts[i]->features();
     }
-    std::vector<double> scores = model_->PredictBatch(feature_ptrs);
+    std::vector<double> scores;
+    {
+      TraceSpan predict(gen_ptr, "model_predict", "costmodel");
+      scores = model_->PredictBatch(feature_ptrs);
+      predict.Arg("count", static_cast<int64_t>(pop));
+    }
 
     // Admissibility: the state lowered (non-empty features) and, when static
     // verification is on, the verifier proved it legal. Rejected members can
@@ -584,7 +608,10 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
           }
         }
       }
-      score_cache.Flush();
+      {
+        TraceSpan flush(gen_ptr, "model_predict", "costmodel");
+        score_cache.Flush();
+      }
       std::vector<State> children(wave, State());
       // Invariant mode: every accepted child is verified at construction
       // site, in the wave that produced it. A lowerable-but-illegal child
@@ -604,7 +631,8 @@ std::vector<State> EvolutionarySearch::Evolve(const std::vector<State>& init, in
           children[s] = RandomMutation(population[slot.pa], &slot.rng);
         }
         if (verify_level >= 2 && !children[s].failed()) {
-          ProgramArtifactPtr artifact = cache->GetOrBuild(children[s], options_.cache_client_id);
+          ProgramArtifactPtr artifact =
+              cache->GetOrBuild(children[s], options_.cache_client_id, gen_ptr);
           if (!artifact->statically_legal()) {
             wave_rejected[s] = 1;
             if (artifact->ok()) {

@@ -44,6 +44,7 @@
 #include "src/program/program_cache.h"
 #include "src/sampler/annotation.h"
 #include "src/support/thread_pool.h"
+#include "src/telemetry/trace.h"
 
 namespace ansor {
 
@@ -77,6 +78,12 @@ struct EvolutionOptions {
   // level to 2. For corpora containing no lowerable-but-illegal program,
   // levels 0 and 1 produce bit-identical results.
   int verify_level = 1;
+  // Telemetry handle: when enabled, Evolve records an "evolution" span with
+  // one "generation" child per generation plus "model_predict" and
+  // "artifact_build" descendants. Disabled (the default) costs one branch
+  // per would-be span; results are bit-identical either way — tracing only
+  // reads clocks.
+  Tracer tracer;
 };
 
 // Counters for the child-generation hot path, reset by each Evolve() call.
@@ -111,6 +118,10 @@ struct EvolutionStats {
                                   static_cast<double>(total);
   }
 };
+
+// Adds `delta`'s counters into `total`: stats() resets per Evolve() call, so
+// round-spanning consumers (TaskTuner, the metrics registry) accumulate.
+void AccumulateEvolutionStats(const EvolutionStats& delta, EvolutionStats* total);
 
 // Per-stage cost-model scores for crossover parents, stored on the parents'
 // ProgramArtifacts: a score memo is stamped with the cost-model version it

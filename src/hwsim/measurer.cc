@@ -26,17 +26,50 @@ struct PendingMeasureBatch::Shared {
   std::mutex mu;
   std::condition_variable cv;
   size_t done = 0;  // guarded by mu
+  // Telemetry: trial spans parent under a "measure_batch" span whose id is
+  // allocated at submission and whose event is recorded by whichever worker
+  // finishes the last item (submit→complete, independent of when the
+  // submitter gets around to Wait()).
+  Tracer tracer;             // disabled unless SubmitBatch got one;
+                             // re-parented under the batch span
+  int64_t submit_nanos = 0;  // batch submission time (tracer clock)
+  uint64_t batch_span = 0;
+  uint64_t batch_parent = 0;  // the submitter's parent span
 
   void RunItem(size_t i) {
     if (cancel.load(std::memory_order_acquire)) {
       results[i].cancelled = true;
       results[i].error = "cancelled before start";
+      if (tracer.enabled()) {
+        TraceSpan span(tracer, "measure_trial", "measure");
+        span.Arg("outcome", "cancelled");
+      }
     } else {
-      results[i] = measurer->MeasureImpl(states[i], 0, cache, cache_client_id);
+      results[i] = measurer->MeasureImpl(states[i], 0, cache, cache_client_id,
+                                         tracer.enabled() ? &tracer : nullptr,
+                                         submit_nanos);
     }
-    std::lock_guard<std::mutex> lock(mu);
-    if (++done == states.size()) {
-      cv.notify_all();
+    bool last;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      last = ++done == states.size();
+      if (last) {
+        cv.notify_all();
+      }
+    }
+    if (last && tracer.enabled()) {
+      TraceEvent batch;
+      batch.name = "measure_batch";
+      batch.category = "measure";
+      batch.span_id = batch_span;
+      batch.parent_id = batch_parent;
+      batch.job = tracer.job();
+      batch.task = tracer.task();
+      batch.round = tracer.round();
+      batch.start_nanos = submit_nanos;
+      batch.end_nanos = tracer.clock()->NowNanos();
+      batch.args.emplace_back("count", std::to_string(states.size()));
+      tracer.sink()->Record(std::move(batch));
     }
   }
 };
@@ -81,11 +114,19 @@ Measurer::Measurer(MachineModel machine, MeasureOptions options)
     : machine_(std::move(machine)), options_(std::move(options)) {}
 
 MeasureResult Measurer::MeasureImpl(const State& state, uint64_t noise_tag,
-                                    ProgramCache* cache, uint64_t cache_client_id) {
+                                    ProgramCache* cache, uint64_t cache_client_id,
+                                    const Tracer* tracer, int64_t submit_nanos) {
   trials_.fetch_add(1);
+  TraceSpan span(tracer, "measure_trial", "measure");
+  if (span.enabled() && submit_nanos > 0) {
+    // Time the item spent queued for a device worker before this span began.
+    span.Arg("queue_seconds",
+             SecondsBetween(submit_nanos, tracer->clock()->NowNanos()));
+  }
   MeasureResult result;
   if (state.failed()) {
     result.error = "invalid state: " + state.error();
+    span.Arg("outcome", "invalid");
     return result;
   }
   // With a cache, candidates the search already compiled (population scoring,
@@ -94,7 +135,8 @@ MeasureResult Measurer::MeasureImpl(const State& state, uint64_t noise_tag,
   LoweredProgram local;
   const LoweredProgram* program;
   if (cache != nullptr) {
-    artifact = cache->GetOrBuild(state, cache_client_id);
+    artifact = cache->GetOrBuild(state, cache_client_id,
+                                 span.enabled() ? tracer : nullptr);
     program = &artifact->lowered();
   } else {
     local = Lower(state);
@@ -102,10 +144,12 @@ MeasureResult Measurer::MeasureImpl(const State& state, uint64_t noise_tag,
   }
   if (!program->ok) {
     result.error = "lowering failed: " + program->error;
+    span.Arg("outcome", "invalid");
     return result;
   }
   if (options_.fail_injector && options_.fail_injector(state)) {
     result.error = "injected transient measurement failure";
+    span.Arg("outcome", "invalid");
     return result;
   }
   if (options_.verify_every > 0 &&
@@ -114,6 +158,7 @@ MeasureResult Measurer::MeasureImpl(const State& state, uint64_t noise_tag,
     std::string mismatch = VerifyAgainstNaive(state, *program);
     if (!mismatch.empty()) {
       result.error = "verification failed: " + mismatch;
+      span.Arg("outcome", "invalid");
       return result;
     }
   }
@@ -128,8 +173,10 @@ MeasureResult Measurer::MeasureImpl(const State& state, uint64_t noise_tag,
   }
   if (!cost.valid) {
     result.error = cost.error;
+    span.Arg("outcome", "invalid");
     return result;
   }
+  span.Arg("outcome", "valid");
   double seconds = cost.seconds;
   if (options_.noise_stddev > 0.0) {
     // Deterministic per-program noise: hash the step list so that repeated
@@ -150,24 +197,30 @@ MeasureResult Measurer::MeasureImpl(const State& state, uint64_t noise_tag,
 }
 
 MeasureResult Measurer::Measure(const State& state, ProgramCache* cache,
-                                uint64_t cache_client_id) {
+                                uint64_t cache_client_id, const Tracer* tracer) {
   return MeasureImpl(state, 0, cache != nullptr ? cache : options_.program_cache,
-                     cache_client_id);
+                     cache_client_id, tracer);
 }
 
 std::vector<MeasureResult> Measurer::MeasureBatch(const std::vector<State>& states,
                                                   ProgramCache* cache,
-                                                  uint64_t cache_client_id) {
+                                                  uint64_t cache_client_id,
+                                                  const Tracer* tracer) {
   ProgramCache* resolved = cache != nullptr ? cache : options_.program_cache;
+  TraceSpan batch(tracer, "measure_batch", "measure");
+  batch.Arg("count", static_cast<int64_t>(states.size()));
+  Tracer nested = batch.child();
+  const Tracer* item_tracer = batch.enabled() ? &nested : nullptr;
   std::vector<MeasureResult> results(states.size());
   ThreadPool::OrGlobal(options_.thread_pool).ParallelFor(states.size(), [&](size_t i) {
-    results[i] = MeasureImpl(states[i], 0, resolved, cache_client_id);
+    results[i] = MeasureImpl(states[i], 0, resolved, cache_client_id, item_tracer);
   });
   return results;
 }
 
 PendingMeasureBatch Measurer::SubmitBatch(std::vector<State> states, ProgramCache* cache,
-                                          uint64_t cache_client_id, ThreadPool* pool) {
+                                          uint64_t cache_client_id, ThreadPool* pool,
+                                          const Tracer* tracer) {
   PendingMeasureBatch handle;
   if (states.empty()) {
     return handle;
@@ -178,6 +231,12 @@ PendingMeasureBatch Measurer::SubmitBatch(std::vector<State> states, ProgramCach
   shared->cache_client_id = cache_client_id;
   shared->states = std::move(states);
   shared->results.resize(shared->states.size());
+  if (tracer != nullptr && tracer->enabled()) {
+    shared->batch_span = tracer->sink()->NextId();
+    shared->batch_parent = tracer->parent();
+    shared->tracer = tracer->WithParent(shared->batch_span);
+    shared->submit_nanos = tracer->clock()->NowNanos();
+  }
   handle.shared_ = shared;
   // A measurer configured with its own pool owns a device executor (e.g. one
   // thread per attached board); its occupancy must not be diluted onto the
@@ -188,6 +247,11 @@ PendingMeasureBatch Measurer::SubmitBatch(std::vector<State> states, ProgramCach
     resolved.Enqueue([shared, i] { shared->RunItem(i); });
   }
   return handle;
+}
+
+void Measurer::ExportMetrics(MetricsRegistry* registry, const std::string& prefix) const {
+  registry->SetGauge(prefix + ".trials", static_cast<double>(trial_count()));
+  registry->SetGauge(prefix + ".verifications", static_cast<double>(verification_count()));
 }
 
 }  // namespace ansor

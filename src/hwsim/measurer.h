@@ -17,6 +17,8 @@
 
 #include "src/hwsim/simulator.h"
 #include "src/ir/state.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace ansor {
 
@@ -109,12 +111,17 @@ class Measurer {
   // `cache` overrides MeasureOptions::program_cache for this call (the
   // search policy injects its per-task cache); nullptr falls back to it.
   // `cache_client_id` tags the cache lookups for cross-task accounting
-  // (ProgramCache::GetOrBuild); 0 = anonymous.
+  // (ProgramCache::GetOrBuild); 0 = anonymous. A non-null `tracer` records a
+  // "measure_trial" span per trial (args: outcome, and queue_seconds for
+  // submitted batches — the time the item waited for a device worker; the
+  // span's own duration is the device time) under a "measure_batch" span
+  // covering submit→complete. Results are identical with tracing on or off.
   MeasureResult Measure(const State& state, ProgramCache* cache = nullptr,
-                        uint64_t cache_client_id = 0);
+                        uint64_t cache_client_id = 0, const Tracer* tracer = nullptr);
   std::vector<MeasureResult> MeasureBatch(const std::vector<State>& states,
                                           ProgramCache* cache = nullptr,
-                                          uint64_t cache_client_id = 0);
+                                          uint64_t cache_client_id = 0,
+                                          const Tracer* tracer = nullptr);
 
   // Asynchronous MeasureBatch: enqueues one measurement per state and returns
   // immediately. Items run on MeasureOptions::thread_pool when set (the
@@ -124,8 +131,11 @@ class Measurer {
   // — the next round's search, training-feature extraction — with the batch
   // in flight, and lets a deadline cancel the unstarted remainder. The
   // Measurer (and cache, if any) must outlive the returned handle's Wait().
+  // With a tracer, the "measure_batch" span opens at submission and is
+  // recorded by whichever worker completes the batch's last item.
   PendingMeasureBatch SubmitBatch(std::vector<State> states, ProgramCache* cache = nullptr,
-                                  uint64_t cache_client_id = 0, ThreadPool* pool = nullptr);
+                                  uint64_t cache_client_id = 0, ThreadPool* pool = nullptr,
+                                  const Tracer* tracer = nullptr);
 
   // Total number of measurement trials performed (the budget unit of §7).
   // Cancelled batch items never started, so they are not counted.
@@ -141,11 +151,16 @@ class Measurer {
   // (observability for the verify_every cadence).
   int64_t verification_count() const { return verifications_.load(); }
 
+  // Mirrors the trial/verification counters into `registry` as gauges named
+  // <prefix>.trials / .verifications.
+  void ExportMetrics(MetricsRegistry* registry, const std::string& prefix) const;
+
  private:
   friend class PendingMeasureBatch;  // batch items run through MeasureImpl
 
   MeasureResult MeasureImpl(const State& state, uint64_t noise_tag, ProgramCache* cache,
-                            uint64_t cache_client_id);
+                            uint64_t cache_client_id, const Tracer* tracer = nullptr,
+                            int64_t submit_nanos = 0);
 
   MachineModel machine_;
   MeasureOptions options_;

@@ -8,16 +8,24 @@ namespace ansor {
 ProgramArtifact::ProgramArtifact(const State& state)
     : ProgramArtifact(state, StepSignature(state)) {}
 
-ProgramArtifact::ProgramArtifact(const State& state, std::string signature)
+ProgramArtifact::ProgramArtifact(const State& state, std::string signature,
+                                 const Tracer* tracer)
     : signature_(std::move(signature)),
       task_id_(state.dag() != nullptr ? state.dag()->CanonicalHash() : 0),
       steps_(state.steps()) {
-  lowered_ = Lower(state);
+  TraceSpan build(tracer, "artifact_build", "program");
+  Tracer nested = build.child();
+  const Tracer* child = build.enabled() ? &nested : nullptr;
+  {
+    TraceSpan lower(child, "lower", "program");
+    lowered_ = Lower(state);
+  }
   lowering_ok_ = lowered_.ok;
   if (lowered_.ok) {
+    TraceSpan extract(child, "extract_features", "program");
     features_ = ExtractFeatures(lowered_);
   }
-  verifier_report_ = VerifyProgram(state, lowered_);
+  verifier_report_ = VerifyProgram(state, lowered_, child);
   structurally_legal_ = verifier_report_.legal();
   materialized_.store(true, std::memory_order_release);
 }
@@ -76,7 +84,7 @@ const VerifierReport& ProgramArtifact::verifier_report() const {
 }
 
 std::shared_ptr<const CheckVerdict> ProgramArtifact::resource_verdict(
-    const MachineModel& machine) const {
+    const MachineModel& machine, const Tracer* tracer) const {
   uint64_t fingerprint = machine.Fingerprint();
   {
     std::lock_guard<std::mutex> lock(resources_mu_);
@@ -89,7 +97,8 @@ std::shared_ptr<const CheckVerdict> ProgramArtifact::resource_verdict(
   // Computed outside the lock: the verdict is a pure function of
   // (program, machine), so a racing duplicate is identical and harmless.
   Materialize();
-  auto verdict = std::make_shared<const CheckVerdict>(VerifyResources(lowered_, machine));
+  auto verdict =
+      std::make_shared<const CheckVerdict>(VerifyResources(lowered_, machine, tracer));
   std::lock_guard<std::mutex> lock(resources_mu_);
   for (const ResourceMemo& memo : resources_) {
     if (memo.machine_fingerprint == fingerprint) {

@@ -46,6 +46,7 @@
 #include "src/features/feature_extraction.h"
 #include "src/ir/steps.h"
 #include "src/lower/loop_tree.h"
+#include "src/telemetry/trace.h"
 
 namespace ansor {
 
@@ -66,8 +67,11 @@ class ProgramArtifact {
   // features) so consumers have one code path.
   explicit ProgramArtifact(const State& state);
   // As above with the StepSignature already computed (the ProgramCache hands
-  // over the one it derived the cache key from).
-  ProgramArtifact(const State& state, std::string signature);
+  // over the one it derived the cache key from). A non-null `tracer` records
+  // the compile as an "artifact_build" span with "lower", "extract_features"
+  // and "verify_structural" children.
+  ProgramArtifact(const State& state, std::string signature,
+                  const Tracer* tracer = nullptr);
   // Warm restore from a persisted snapshot: everything a scoring/filtering
   // consumer reads is handed over directly; lowering and the full verifier
   // report are re-derived on first demand by replaying `steps` on `dag`.
@@ -108,13 +112,18 @@ class ProgramArtifact {
   // Machine-dependent resource verdict, memoized per MachineModel
   // fingerprint under the same once-per-artifact discipline as the
   // stage-score memo. Thread-safe; the returned snapshot is immutable. A
-  // fingerprint outside the memo materializes a warm artifact.
-  std::shared_ptr<const CheckVerdict> resource_verdict(const MachineModel& machine) const;
+  // fingerprint outside the memo materializes a warm artifact. A non-null
+  // `tracer` records the (uncached) consult as a "verify_resources" span;
+  // memo hits record nothing.
+  std::shared_ptr<const CheckVerdict> resource_verdict(const MachineModel& machine,
+                                                       const Tracer* tracer = nullptr) const;
 
   // True when every evaluated check passed: the structural report is legal
   // and, if a machine is given, its resource verdict is too.
-  bool statically_legal(const MachineModel* machine = nullptr) const {
-    return structurally_legal_ && (machine == nullptr || !resource_verdict(*machine)->failed());
+  bool statically_legal(const MachineModel* machine = nullptr,
+                        const Tracer* tracer = nullptr) const {
+    return structurally_legal_ &&
+           (machine == nullptr || !resource_verdict(*machine, tracer)->failed());
   }
 
   // (fingerprint, passed) summary of every memoized resource verdict — what

@@ -36,7 +36,8 @@ ProgramCache::Shard& ProgramCache::ShardFor(const std::string& key) {
   return shards_[std::hash<std::string>()(key) % shards_.size()];
 }
 
-ProgramArtifactPtr ProgramCache::GetOrBuild(const State& state, uint64_t client_id) {
+ProgramArtifactPtr ProgramCache::GetOrBuild(const State& state, uint64_t client_id,
+                                            const Tracer* tracer) {
   if (state.failed()) {
     return std::make_shared<const ProgramArtifact>(state);
   }
@@ -51,7 +52,7 @@ ProgramArtifactPtr ProgramCache::GetOrBuild(const State& state, uint64_t client_
         ++shard.client_stats[client_id].lookups;
       }
     }
-    return std::make_shared<const ProgramArtifact>(state, key.substr(sig_offset));
+    return std::make_shared<const ProgramArtifact>(state, key.substr(sig_offset), tracer);
   }
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -78,7 +79,7 @@ ProgramArtifactPtr ProgramCache::GetOrBuild(const State& state, uint64_t client_
   // Build outside the lock: lowering + feature extraction dominate, and two
   // threads racing on the same key build identical artifacts anyway.
   ProgramArtifactPtr artifact =
-      std::make_shared<const ProgramArtifact>(state, key.substr(sig_offset));
+      std::make_shared<const ProgramArtifact>(state, key.substr(sig_offset), tracer);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
@@ -158,6 +159,17 @@ ProgramCacheStats ProgramCache::stats() const {
     out.warm_inserts += shard.warm_inserts;
   }
   return out;
+}
+
+void ProgramCache::ExportMetrics(MetricsRegistry* registry, const std::string& prefix) const {
+  ProgramCacheStats s = stats();
+  registry->SetGauge(prefix + ".hits", static_cast<double>(s.hits));
+  registry->SetGauge(prefix + ".misses", static_cast<double>(s.misses));
+  registry->SetGauge(prefix + ".evictions", static_cast<double>(s.evictions));
+  registry->SetGauge(prefix + ".cross_client_hits", static_cast<double>(s.cross_client_hits));
+  registry->SetGauge(prefix + ".warm_inserts", static_cast<double>(s.warm_inserts));
+  registry->SetGauge(prefix + ".size", static_cast<double>(size()));
+  registry->SetGauge(prefix + ".hit_rate", s.HitRate(), "ratio");
 }
 
 ProgramCacheClientStats ProgramCache::ClientStats(uint64_t client_id) const {

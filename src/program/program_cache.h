@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "src/program/program_artifact.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace ansor {
 
@@ -93,7 +95,13 @@ class ProgramCache {
   // built by a different nonzero id counts as a cross-client hit. The
   // TuningService assigns each (job, task) pair a distinct id so same-tag
   // tasks sharing one cache can report how much they reused of each other.
-  ProgramArtifactPtr GetOrBuild(const State& state, uint64_t client_id = 0);
+  //
+  // A non-null `tracer` records compiles (misses) as "artifact_build" spans
+  // with lower/extract/verify children; hits record nothing — hit traffic is
+  // visible in the counters, and the absent build spans are the point of the
+  // warm-start 0-miss demonstration.
+  ProgramArtifactPtr GetOrBuild(const State& state, uint64_t client_id = 0,
+                                const Tracer* tracer = nullptr);
 
   // Installs a prebuilt artifact under (dag_hash, artifact->signature())
   // without counting a lookup: the artifact-store warm-start path. Keeps an
@@ -115,6 +123,11 @@ class ProgramCache {
   // Exact counters for one nonzero client id (zero-initialized if the client
   // never looked anything up).
   ProgramCacheClientStats ClientStats(uint64_t client_id) const;
+
+  // Mirrors the current counters into `registry` as gauges named
+  // <prefix>.hits / .misses / .evictions / .cross_client_hits /
+  // .warm_inserts / .size / .hit_rate.
+  void ExportMetrics(MetricsRegistry* registry, const std::string& prefix) const;
 
  private:
   struct Entry {

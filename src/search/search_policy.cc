@@ -14,6 +14,8 @@ TaskTuner::TaskTuner(SearchTask task, Measurer* measurer, CostModel* model,
       measurer_(measurer),
       model_(model),
       options_(options),
+      clock_(MonotonicClock::OrReal(options.clock)),
+      tracer_(options.tracer),
       rng_(options.seed ^ task_.task_id()) {
   // Task-lifetime compiled-program cache: owned by the tuner unless the
   // caller injected one to observe or share it.
@@ -23,7 +25,13 @@ TaskTuner::TaskTuner(SearchTask task, Measurer* measurer, CostModel* model,
     owned_cache_ = std::make_unique<ProgramCache>(options_.program_cache_capacity);
     cache_ = owned_cache_.get();
   }
-  sketches_ = GenerateSketches(task_.dag.get(), options_.sketch);
+  const int64_t t0 = clock_->NowNanos();
+  {
+    TraceSpan sketch(tracer_, "sketch", "search");
+    sketches_ = GenerateSketches(task_.dag.get(), options_.sketch);
+    sketch.Arg("count", static_cast<int64_t>(sketches_.size()));
+  }
+  phase_times_.sketch_seconds += SecondsBetween(t0, clock_->NowNanos());
 }
 
 std::vector<State> TaskTuner::SampleRandomPrograms(int count) {
@@ -49,6 +57,10 @@ PlannedRound TaskTuner::PlanRound(int num_measures) {
   if (sketches_.empty() || num_measures <= 0) {
     return round;
   }
+  const int64_t t0 = clock_->NowNanos();
+  TraceSpan plan_span(tracer_, "plan_round", "search");
+  Tracer plan_tracer = plan_span.child();
+  const Tracer* plan_ptr = plan_span.enabled() ? &plan_tracer : nullptr;
   const int verify_level = EffectiveVerifyLevel(options_.verify_level);
 
   // Candidate generation. Signatures are kept alongside the candidates so
@@ -76,8 +88,8 @@ PlannedRound TaskTuner::PlanRound(int num_measures) {
       // violation, resource limits) must not burn a trial. The report rides
       // on the cached artifact, so candidates the evolution already compiled
       // are filtered for free.
-      ProgramArtifactPtr artifact = cache_->GetOrBuild(s, options_.cache_client_id);
-      if (!artifact->statically_legal(&measurer_->machine())) {
+      ProgramArtifactPtr artifact = cache_->GetOrBuild(s, options_.cache_client_id, plan_ptr);
+      if (!artifact->statically_legal(&measurer_->machine(), plan_ptr)) {
         ++statically_rejected_;
         return;
       }
@@ -101,6 +113,9 @@ PlannedRound TaskTuner::PlanRound(int num_measures) {
     evo.program_cache = cache_;
     evo.cache_client_id = options_.cache_client_id;
     evo.verify_level = options_.verify_level;
+    if (plan_ptr != nullptr) {
+      evo.tracer = *plan_ptr;
+    }
     EvolutionarySearch evolution(task_.dag.get(), model_, rng_.Fork(), evo);
     int n_evolved = std::max(1, num_measures - static_cast<int>(options_.eps_random *
                                                                 num_measures));
@@ -108,25 +123,33 @@ PlannedRound TaskTuner::PlanRound(int num_measures) {
       add_candidate(s);
     }
     statically_rejected_ += evolution.stats().statically_rejected;
+    AccumulateEvolutionStats(evolution.stats(), &evolution_stats_);
   }
   // Epsilon-greedy random exploration (all candidates when fine-tuning is
   // disabled — the "No fine-tuning" ablation).
   for (const State& s : SampleRandomPrograms(num_measures)) {
     add_candidate(s);
   }
+  plan_span.Arg("count", static_cast<int64_t>(round.to_measure.size()));
+  phase_times_.search_seconds += SecondsBetween(t0, clock_->NowNanos());
   return round;
 }
 
 PendingMeasureBatch TaskTuner::SubmitPlannedRound(const PlannedRound& round,
                                                   ThreadPool* pool) {
   return measurer_->SubmitBatch(round.to_measure, cache_, options_.cache_client_id,
-                                pool != nullptr ? pool : options_.thread_pool);
+                                pool != nullptr ? pool : options_.thread_pool,
+                                tracer_.enabled() ? &tracer_ : nullptr);
 }
 
 void TaskTuner::ExtractFeatures(PlannedRound* round) {
   if (!round->features.empty()) {
     return;  // already extracted
   }
+  const int64_t t0 = clock_->NowNanos();
+  TraceSpan span(tracer_, "training_features", "search");
+  Tracer nested = span.child();
+  const Tracer* nested_ptr = span.enabled() ? &nested : nullptr;
   // Training features are copied out of the cached artifacts (the
   // per-candidate copy is mutated at commit when a transient failure must
   // not train a zero-throughput sample). Artifacts were compiled during
@@ -135,8 +158,10 @@ void TaskTuner::ExtractFeatures(PlannedRound* round) {
   ThreadPool::OrGlobal(options_.thread_pool)
       .ParallelFor(round->to_measure.size(), [&](size_t i) {
         round->features[i] =
-            cache_->GetOrBuild(round->to_measure[i], options_.cache_client_id)->features();
+            cache_->GetOrBuild(round->to_measure[i], options_.cache_client_id, nested_ptr)
+                ->features();
       });
+  phase_times_.feature_seconds += SecondsBetween(t0, clock_->NowNanos());
 }
 
 double TaskTuner::CommitRound(PlannedRound round, const std::vector<MeasureResult>& results) {
@@ -144,6 +169,8 @@ double TaskTuner::CommitRound(PlannedRound round, const std::vector<MeasureResul
     return best_seconds_;
   }
   CHECK_EQ(results.size(), round.to_measure.size());
+  const int64_t t0 = clock_->NowNanos();
+  TraceSpan commit_span(tracer_, "commit_round", "search");
   // Budget accounting: only trials that actually started count (a cancelled
   // item never reached the device — see MeasureResult::cancelled — so the
   // tuner's spent budget stays equal to the measurer's trial counter).
@@ -151,6 +178,8 @@ double TaskTuner::CommitRound(PlannedRound round, const std::vector<MeasureResul
   for (const MeasureResult& r : results) {
     if (!r.cancelled) {
       ++started;
+    } else {
+      ++cancelled_measures_;
     }
   }
   total_measures_ += started;
@@ -212,9 +241,13 @@ double TaskTuner::CommitRound(PlannedRound round, const std::vector<MeasureResul
   }
 
   if (options_.enable_fine_tuning) {
+    TraceSpan train(commit_span.enabled() ? commit_span.child() : Tracer(),
+                    "model_train", "costmodel");
+    train.Arg("count", static_cast<int64_t>(features.size()));
     model_->Update(task_.task_id(), features, throughputs);
   }
   history_.emplace_back(total_measures_, best_seconds_);
+  phase_times_.commit_seconds += SecondsBetween(t0, clock_->NowNanos());
   return best_seconds_;
 }
 
@@ -223,8 +256,11 @@ double TaskTuner::TuneRound(int num_measures) {
   if (round.to_measure.empty()) {
     return best_seconds_;
   }
+  const int64_t t0 = clock_->NowNanos();
   std::vector<MeasureResult> results =
-      measurer_->MeasureBatch(round.to_measure, cache_, options_.cache_client_id);
+      measurer_->MeasureBatch(round.to_measure, cache_, options_.cache_client_id,
+                              tracer_.enabled() ? &tracer_ : nullptr);
+  phase_times_.measure_wall_seconds += SecondsBetween(t0, clock_->NowNanos());
   return CommitRound(std::move(round), results);
 }
 

@@ -20,6 +20,8 @@
 #include "src/program/program_cache.h"
 #include "src/search/record_log.h"
 #include "src/sketch/sketch.h"
+#include "src/telemetry/clock.h"
+#include "src/telemetry/trace.h"
 
 namespace ansor {
 
@@ -110,6 +112,51 @@ struct SearchOptions {
   // to 2. Levels 0 and 1 are bit-identical on corpora with no statically
   // illegal candidate (see the determinism tests).
   int verify_level = 1;
+  // Telemetry handle for this task's tuner: spans for sketch generation,
+  // round planning (with evolution/generation children), training-feature
+  // extraction, measurement and commit are attributed through it. Disabled
+  // by default (one branch per would-be span); search results are
+  // bit-identical either way. The TuningService stamps job/task ids on it
+  // and re-parents it per round via TaskTuner::set_tracer.
+  Tracer tracer;
+  // Clock used for the tuner's per-phase time attribution (nullptr = the
+  // process steady clock). Injected by the TuningService so every timing in
+  // a job — report fields, trace spans, phase breakdowns — derives from the
+  // single service clock (fake-clock testable).
+  MonotonicClock* clock = nullptr;
+};
+
+// Wall-clock seconds a tuner (or a whole job) spent in each phase of the
+// tuning loop. Sketch/search/feature/commit accumulate inside TaskTuner;
+// measure_wall is the submit→complete wall time of measurement batches
+// (accumulated by TuneRound on the synchronous path and by the service
+// driver on the overlapped path, which also credits `overlap` — the portion
+// of search-side work that ran while a batch was in flight).
+struct SearchPhaseTimes {
+  double sketch_seconds = 0.0;
+  double search_seconds = 0.0;   // PlanRound: evolution + candidate filtering
+  double feature_seconds = 0.0;  // training-feature extraction
+  double measure_wall_seconds = 0.0;
+  double commit_seconds = 0.0;   // result bookkeeping + cost-model training
+  double overlap_seconds = 0.0;  // search-side work overlapped with measuring
+
+  double TotalSeconds() const {
+    return sketch_seconds + search_seconds + feature_seconds + measure_wall_seconds +
+           commit_seconds;
+  }
+  // Fraction of measurement wall time that was hidden behind search-side
+  // work (the async pipeline's win; 0 on the synchronous path).
+  double OverlapFraction() const {
+    return measure_wall_seconds > 0.0 ? overlap_seconds / measure_wall_seconds : 0.0;
+  }
+  void Add(const SearchPhaseTimes& other) {
+    sketch_seconds += other.sketch_seconds;
+    search_seconds += other.search_seconds;
+    feature_seconds += other.feature_seconds;
+    measure_wall_seconds += other.measure_wall_seconds;
+    commit_seconds += other.commit_seconds;
+    overlap_seconds += other.overlap_seconds;
+  }
 };
 
 // One planned-but-not-yet-committed tuning round: the candidates PlanRound
@@ -183,6 +230,21 @@ class TaskTuner {
   // SearchOptions::program_cache). Exposes hit/miss/eviction counters.
   const ProgramCache& program_cache() const { return *cache_; }
 
+  // Trials whose results came back cancelled (deadline hit before start).
+  int64_t cancelled_measures() const { return cancelled_measures_; }
+  // Per-phase wall-time attribution accumulated across rounds (single
+  // injected clock; see SearchOptions::clock). The synchronous TuneRound
+  // path fills measure_wall itself; on the service's overlapped path the
+  // driver owns measure_wall/overlap and merges.
+  const SearchPhaseTimes& phase_times() const { return phase_times_; }
+  // EvolutionStats summed over every PlanRound this tuner ran (the per-call
+  // stats are reset by each Evolve; this is the round-spanning mirror the
+  // metrics registry snapshots).
+  const EvolutionStats& evolution_stats() const { return evolution_stats_; }
+  // Re-attributes subsequent spans (round/parent change): the service driver
+  // points this at the current round's span before planning it.
+  void set_tracer(const Tracer& tracer) { tracer_ = tracer; }
+
  private:
   std::vector<State> SampleRandomPrograms(int count);
 
@@ -192,6 +254,10 @@ class TaskTuner {
   SearchOptions options_;
   std::unique_ptr<ProgramCache> owned_cache_;
   ProgramCache* cache_;
+  MonotonicClock* clock_;
+  Tracer tracer_;  // current attribution (options_.tracer until set_tracer)
+  SearchPhaseTimes phase_times_;
+  EvolutionStats evolution_stats_;
   Rng rng_;
   std::vector<State> sketches_;
   // Best measured programs (population seed for the next round).
@@ -201,6 +267,7 @@ class TaskTuner {
   std::optional<State> best_state_;
   int64_t total_measures_ = 0;
   int64_t invalid_measures_ = 0;
+  int64_t cancelled_measures_ = 0;
   int64_t statically_rejected_ = 0;
   std::vector<std::pair<int64_t, double>> history_;
   // Signatures of already-measured programs: never burn a trial twice on the

@@ -6,16 +6,6 @@
 
 namespace ansor {
 
-using Clock = std::chrono::steady_clock;
-
-namespace {
-
-double SecondsBetween(Clock::time_point a, Clock::time_point b) {
-  return std::chrono::duration<double>(b - a).count();
-}
-
-}  // namespace
-
 const char* JobStatusName(JobStatus s) {
   switch (s) {
     case JobStatus::kQueued: return "queued";
@@ -31,7 +21,9 @@ const char* JobStatusName(JobStatus s) {
 struct JobState {
   int64_t id = 0;
   JobSpec spec;
-  Clock::time_point submit_time;
+  // Reading of the service clock at Submit (the origin every report latency
+  // is measured from).
+  int64_t submit_nanos = 0;
   std::atomic<bool> cancel{false};
 
   mutable std::mutex mu;
@@ -96,9 +88,21 @@ const JobReport& JobHandle::report() const {
 
 TuningService::TuningService(TuningServiceOptions options)
     : options_(std::move(options)),
-      workers_(static_cast<size_t>(std::max(0, options_.num_workers))) {
+      workers_(static_cast<size_t>(std::max(0, options_.num_workers))),
+      clock_(MonotonicClock::OrReal(options_.clock)) {
+  if (options_.trace_sink != nullptr) {
+    sink_ = options_.trace_sink;
+  } else if (!options_.trace_path.empty()) {
+    owned_sink_ = std::make_unique<TraceSink>();
+    sink_ = owned_sink_.get();
+  }
   if (!options_.warm_start_path.empty()) {
+    Tracer tracer(sink_, clock_);
+    TraceSpan load(sink_ != nullptr ? &tracer : nullptr, "store_load", "store");
     warm_start_stats_ = warm_store_.LoadFromFile(options_.warm_start_path);
+    if (load.enabled()) {
+      load.Arg("count", static_cast<int64_t>(warm_start_stats_.loaded));
+    }
   }
   int drivers = std::max(1, options_.max_concurrent_jobs);
   drivers_.reserve(static_cast<size_t>(drivers));
@@ -119,7 +123,8 @@ ProgramCache* TuningService::SharedCacheForTag(const std::string& tag) {
 }
 
 void TuningService::WarmTagCache(ProgramCache* cache,
-                                 const std::shared_ptr<const ComputeDAG>& dag) {
+                                 const std::shared_ptr<const ComputeDAG>& dag,
+                                 const Tracer* tracer) {
   if (warm_store_.size() == 0 || cache == nullptr || dag == nullptr) {
     return;
   }
@@ -132,7 +137,11 @@ void TuningService::WarmTagCache(ProgramCache* cache,
   // Outside mu_: warming only touches the cache's own shard locks, and a
   // concurrent job hitting the cache mid-warm just sees a prefix of the
   // snapshots — results are invariant either way (artifacts are pure).
-  warm_store_.WarmCache(cache, dag);
+  TraceSpan span(tracer, "warm_start", "store");
+  size_t installed = warm_store_.WarmCache(cache, dag);
+  if (span.enabled()) {
+    span.Arg("count", static_cast<int64_t>(installed));
+  }
 }
 
 JobHandle TuningService::Submit(JobSpec spec) {
@@ -142,13 +151,14 @@ JobHandle TuningService::Submit(JobSpec spec) {
   auto job = std::make_shared<JobState>();
   job->id = next_job_id_.fetch_add(1);
   job->spec = std::move(spec);
-  job->submit_time = Clock::now();
+  job->submit_nanos = clock_->NowNanos();
   {
     std::lock_guard<std::mutex> lock(mu_);
     CHECK(!shutdown_) << "Submit after Shutdown";
     queue_.push_back(job);
     jobs_.push_back(job);
   }
+  metrics_.AddCounter("service.jobs_submitted", 1, "jobs");
   cv_.notify_one();
   JobHandle handle;
   handle.state_ = std::move(job);
@@ -172,9 +182,20 @@ void TuningService::DriverLoop() {
 }
 
 void TuningService::RunJob(JobState* job) {
-  const Clock::time_point start = Clock::now();
+  const int64_t start_nanos = clock_->NowNanos();
   job->SetStatus(JobStatus::kRunning);
   const JobSpec& spec = job->spec;
+
+  // The job's root span: every span the job records — rounds, store phases,
+  // and the search/evolution/measure children attributed through the
+  // per-round tuner tracer — nests under it, so a trace fold recovers the
+  // job's turnaround from its direct children.
+  Tracer job_tracer =
+      sink_ != nullptr ? Tracer(sink_, clock_).WithJob(job->id) : Tracer();
+  TraceSpan job_span(job_tracer, "job", "service");
+  if (job_span.enabled() && !spec.name.empty()) {
+    job_span.Arg("name", spec.name);
+  }
 
   // Wire the per-task search options: the shared worker pool, a distinct
   // cache client id per (job, task), and — for nonempty similarity tags —
@@ -184,13 +205,15 @@ void TuningService::RunJob(JobState* job) {
   const size_t n_tasks = spec.tasks.size();
   std::vector<uint64_t> client_ids(n_tasks);
   std::vector<ProgramCache*> tag_caches(n_tasks, nullptr);
+  Tracer warm_tracer = job_span.child();
   for (size_t i = 0; i < n_tasks; ++i) {
     client_ids[i] = next_client_id_.fetch_add(1);
     if (options_.share_caches_by_tag && !spec.tasks[i].tag.empty()) {
       tag_caches[i] = SharedCacheForTag(spec.tasks[i].tag);
       // Fleet warm start: seed the shared cache with every persisted
       // artifact of this task before its tuner first touches it.
-      WarmTagCache(tag_caches[i], spec.tasks[i].dag);
+      WarmTagCache(tag_caches[i], spec.tasks[i].dag,
+                   job_span.enabled() ? &warm_tracer : nullptr);
     }
   }
   TaskSchedulerOptions opts = spec.options;
@@ -201,6 +224,7 @@ void TuningService::RunJob(JobState* job) {
       caller_hook(i, task, search);
     }
     search->thread_pool = &workers_;
+    search->clock = clock_;  // one clock per service: all timings agree
     search->cache_client_id = client_ids[i];
     if (search->program_cache == nullptr && tag_caches[i] != nullptr) {
       search->program_cache = tag_caches[i];
@@ -214,28 +238,50 @@ void TuningService::RunJob(JobState* job) {
                           spec.model, opts);
 
   const bool has_deadline = std::isfinite(spec.deadline_seconds);
-  const Clock::time_point deadline =
-      has_deadline ? start + std::chrono::duration_cast<Clock::duration>(
-                                 std::chrono::duration<double>(spec.deadline_seconds))
-                   : Clock::time_point::max();
+  const int64_t deadline_nanos =
+      has_deadline ? start_nanos + static_cast<int64_t>(spec.deadline_seconds * 1e9)
+                   : std::numeric_limits<int64_t>::max();
+  // Driver-observed measurement timing: the tuners account for their own
+  // search-side phases, but on this overlapped path only the driver sees
+  // when a batch was submitted and when it completed — and how much search
+  // work ran while it was in flight.
+  SearchPhaseTimes driver_times;
   bool deadline_hit = false;
   int rounds = 0;
   while (rounds < spec.total_rounds && !job->cancel.load(std::memory_order_acquire)) {
-    if (has_deadline && Clock::now() >= deadline) {
+    if (has_deadline && clock_->NowNanos() >= deadline_nanos) {
       deadline_hit = true;
       break;
     }
+    TraceSpan round_span(job_span.enabled()
+                             ? job_span.child().WithRound(rounds)
+                             : Tracer(),
+                         "round", "service");
     int pick = scheduler.NextTask();
     TaskTuner* tuner = scheduler.tuners()[static_cast<size_t>(pick)].get();
+    if (round_span.enabled()) {
+      // "picked_task", not "task": the core attribution already emits a
+      // "task" key in args (-1 here — the round span itself spans exactly
+      // one task but the pick isn't known at construction).
+      round_span.Arg("picked_task", static_cast<int64_t>(pick));
+      // Everything the tuner records this round — planning, evolution,
+      // features, measurement, commit — nests under this round's span with
+      // the (job, task, round) attribution stamped on.
+      tuner->set_tracer(round_span.child()
+                            .WithTask(static_cast<int64_t>(pick))
+                            .WithRound(rounds));
+    }
     double before = tuner->best_seconds();
     // The overlapped round: submit the batch, then extract this round's
     // training features while it measures. Other jobs' drivers overlap their
     // search with this batch on the same pool.
     PlannedRound round = tuner->PlanRound(spec.options.measures_per_round);
+    const int64_t submit_nanos = clock_->NowNanos();
     PendingMeasureBatch batch = tuner->SubmitPlannedRound(round, &workers_);
     tuner->ExtractFeatures(&round);
+    const int64_t features_done_nanos = clock_->NowNanos();
     if (has_deadline) {
-      double remaining = SecondsBetween(Clock::now(), deadline);
+      double remaining = SecondsBetween(clock_->NowNanos(), deadline_nanos);
       if (!batch.WaitFor(remaining)) {
         // Deadline passed mid-batch: unstarted trials come back cancelled
         // (not charged to any budget); in-flight ones finish, so Wait()
@@ -244,15 +290,24 @@ void TuningService::RunJob(JobState* job) {
         deadline_hit = true;
       }
     }
-    double after = tuner->CommitRound(std::move(round), batch.Wait());
+    std::vector<MeasureResult> results = batch.Wait();
+    const int64_t batch_done_nanos = clock_->NowNanos();
+    driver_times.measure_wall_seconds += SecondsBetween(submit_nanos, batch_done_nanos);
+    // Feature extraction started right after submit, so the portion of it
+    // that fits inside the batch's wall time ran fully overlapped.
+    driver_times.overlap_seconds +=
+        std::min(SecondsBetween(submit_nanos, features_done_nanos),
+                 SecondsBetween(submit_nanos, batch_done_nanos));
+    double after = tuner->CommitRound(std::move(round), results);
     scheduler.RecordRound(pick, before, after);
     ++rounds;
+    metrics_.AddCounter("service.rounds_completed", 1, "rounds");
     if (deadline_hit) {
       break;
     }
   }
 
-  const Clock::time_point end = Clock::now();
+  const int64_t end_nanos = clock_->NowNanos();
   JobReport report;
   // A job that spent its whole budget is completed even if a cancel or the
   // deadline raced with the final round.
@@ -266,6 +321,8 @@ void TuningService::RunJob(JobState* job) {
   for (size_t i = 0; i < n_tasks; ++i) {
     const TaskTuner& tuner = *scheduler.tuners()[i];
     report.trials += tuner.total_measures();
+    report.trials_invalid += tuner.invalid_measures();
+    report.trials_cancelled += tuner.cancelled_measures();
     report.best_seconds.push_back(tuner.best_seconds());
     ProgramCacheClientStats cs = tuner.program_cache().ClientStats(client_ids[i]);
     report.cache.lookups += cs.lookups;
@@ -277,9 +334,39 @@ void TuningService::RunJob(JobState* job) {
       report.records.deduplicated += rs.deduplicated;
     }
   }
-  report.queue_seconds = SecondsBetween(job->submit_time, start);
-  report.run_seconds = SecondsBetween(start, end);
-  report.turnaround_seconds = SecondsBetween(job->submit_time, end);
+  report.trials_valid = report.trials - report.trials_invalid;
+  // Per-phase attribution: the tuners' search-side clocks plus the driver's
+  // measurement wall/overlap (the tuners never fill measure_wall on this
+  // overlapped path — TuneRound does on the synchronous one).
+  report.phases = scheduler.AggregatePhaseTimes();
+  report.phases.Add(driver_times);
+  // All three from the same three clock readings; turnaround is computed as
+  // the sum so the identity holds exactly in double arithmetic too.
+  report.queue_seconds = SecondsBetween(job->submit_nanos, start_nanos);
+  report.run_seconds = SecondsBetween(start_nanos, end_nanos);
+  report.turnaround_seconds = report.queue_seconds + report.run_seconds;
+
+  metrics_.AddCounter("service.jobs_finished", 1, "jobs");
+  metrics_.AddCounter("service.trials", report.trials, "trials");
+  metrics_.AddCounter("service.trials_invalid", report.trials_invalid, "trials");
+  metrics_.AddCounter("service.trials_cancelled", report.trials_cancelled, "trials");
+  metrics_.histogram("job.queue_seconds")->Observe(report.queue_seconds);
+  metrics_.histogram("job.run_seconds")->Observe(report.run_seconds);
+  metrics_.histogram("job.turnaround_seconds")->Observe(report.turnaround_seconds);
+  if (report.phases.measure_wall_seconds > 0.0) {
+    metrics_.histogram("job.overlap_fraction", "ratio")
+        ->Observe(report.phases.OverlapFraction());
+  }
+  // Mirror the borrowed components the job used (idempotent gauge sets;
+  // jobs sharing a measurer/model just refresh the same gauges).
+  spec.measurer->ExportMetrics(&metrics_, "measurer");
+  spec.model->ExportMetrics(&metrics_, "model");
+
+  if (job_span.enabled()) {
+    job_span.Arg("rounds", static_cast<int64_t>(rounds));
+    job_span.Arg("outcome", JobStatusName(report.status));
+    job_span.Finish();
+  }
   job->Finish(std::move(report));
 }
 
@@ -308,6 +395,35 @@ void TuningService::Shutdown() {
     driver.join();
   }
   drivers_.clear();
+  // Every job is terminal now, so the trace is complete and stable.
+  if (sink_ != nullptr && !options_.trace_path.empty()) {
+    sink_->SaveToFile(options_.trace_path);
+  }
+}
+
+std::string TuningService::MetricsSnapshotJson() {
+  // Refresh the mirrored component gauges; the live counters/histograms
+  // update in place as jobs run and need no refresh.
+  metrics_.SetGauge("service.shared_caches", static_cast<double>(shared_cache_count()),
+                    "caches");
+  ProgramCacheStats cache = SharedCacheStats();
+  metrics_.SetGauge("service.shared_cache.hits", static_cast<double>(cache.hits));
+  metrics_.SetGauge("service.shared_cache.misses", static_cast<double>(cache.misses));
+  metrics_.SetGauge("service.shared_cache.evictions",
+                    static_cast<double>(cache.evictions));
+  metrics_.SetGauge("service.shared_cache.cross_client_hits",
+                    static_cast<double>(cache.cross_client_hits));
+  metrics_.SetGauge("service.shared_cache.warm_inserts",
+                    static_cast<double>(cache.warm_inserts));
+  metrics_.SetGauge("service.warm_start.loaded",
+                    static_cast<double>(warm_start_stats_.loaded), "artifacts");
+  if (options_.record_store != nullptr) {
+    options_.record_store->ExportMetrics(&metrics_, "store");
+  }
+  if (sink_ != nullptr) {
+    metrics_.SetGauge("trace.spans", static_cast<double>(sink_->size()), "spans");
+  }
+  return metrics_.ToJson();
 }
 
 ProgramCacheStats TuningService::SharedCacheStats() const {
@@ -330,6 +446,8 @@ size_t TuningService::shared_cache_count() const {
 }
 
 bool TuningService::SaveWarmState(const std::string& path) const {
+  Tracer tracer(sink_, clock_);
+  TraceSpan span(sink_ != nullptr ? &tracer : nullptr, "store_save", "store");
   ArtifactStore snapshot;
   {
     // Collect the caches under mu_, capture them outside it: CaptureCache
@@ -346,6 +464,9 @@ bool TuningService::SaveWarmState(const std::string& path) const {
     for (const auto& [tag, cache] : caches) {
       snapshot.CaptureCache(*cache, tag);
     }
+  }
+  if (span.enabled()) {
+    span.Arg("count", static_cast<int64_t>(snapshot.size()));
   }
   return snapshot.SaveToFile(path);
 }

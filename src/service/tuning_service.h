@@ -51,6 +51,8 @@
 
 #include "src/scheduler/task_scheduler.h"
 #include "src/store/artifact_store.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace ansor {
 
@@ -106,10 +108,23 @@ struct JobReport {
   std::vector<double> best_seconds;  // per task
   std::vector<int> allocations;      // per task
   std::vector<int> allocation_trace; // task index per round, in order
-  // Fleet latency view: turnaround is what a tenant experiences.
+  // Trials broken down by outcome: valid + invalid == trials (started);
+  // cancelled trials never started and are charged to no budget.
+  int64_t trials_valid = 0;
+  int64_t trials_invalid = 0;
+  int64_t trials_cancelled = 0;
+  // Fleet latency view: turnaround is what a tenant experiences. All three
+  // derive from the same three readings of the service's single monotonic
+  // clock (TuningServiceOptions::clock), so queue + run == turnaround
+  // exactly.
   double queue_seconds = 0.0;       // submit -> first round
   double run_seconds = 0.0;         // first round -> terminal
   double turnaround_seconds = 0.0;  // submit -> terminal
+  // Where run_seconds went: per-phase attribution summed over the job's
+  // tuners (sketch/search/feature/commit) plus the driver-observed
+  // measurement wall time and the search-side work overlapped with in-flight
+  // batches (phases.OverlapFraction() is the pipeline's win).
+  SearchPhaseTimes phases;
   // Program-cache traffic attributed to this job's tasks (exact even when
   // the caches are shared with concurrent jobs). cross_client_hits counts
   // artifacts this job consumed that a *different* task compiled — the
@@ -173,6 +188,20 @@ struct TuningServiceOptions {
   // re-lowers nothing the previous incarnation already compiled. Empty =
   // cold start.
   std::string warm_start_path;
+  // Telemetry ---------------------------------------------------------------
+  // When nonempty, the service owns a TraceSink, traces every job (spans for
+  // job/round/store phases, with search/evolution/measure children via the
+  // per-round tuner tracer) and writes the JSONL trace here at Shutdown.
+  // Tracing only reads the clock and records events; fixed-seed results are
+  // bit-identical with it on or off.
+  std::string trace_path;
+  // Borrowed sink alternative: trace into a caller-owned sink (tests inspect
+  // it live; trace_path may still be set to also write the file). Not owned.
+  TraceSink* trace_sink = nullptr;
+  // The single monotonic clock every job timing derives from — report
+  // queue/run/turnaround, per-phase attribution, span durations. nullptr =
+  // the process steady clock. Inject a FakeClock to test timing exactly.
+  MonotonicClock* clock = nullptr;
 };
 
 class TuningService {
@@ -208,13 +237,31 @@ class TuningService {
   // zeros when no path was given).
   const ArtifactLoadStats& warm_start_stats() const { return warm_start_stats_; }
 
+  // Telemetry -----------------------------------------------------------------
+  // The service-owned metrics registry. Live counters/histograms (job and
+  // round counts, turnaround/queue distributions) update as jobs run; the
+  // component gauges (caches, record store, scheduler aggregates) are
+  // mirrored in by MetricsSnapshotJson.
+  MetricsRegistry* metrics() { return &metrics_; }
+  // Refreshes every mirrored component gauge (shared caches, record store,
+  // warm-start stats) and serializes the whole fleet state as one JSON
+  // object.
+  std::string MetricsSnapshotJson();
+  // The active trace sink: the borrowed options.trace_sink, the owned sink
+  // created for options.trace_path, or nullptr when tracing is off.
+  TraceSink* trace_sink() const { return sink_; }
+  // The clock all job timings derive from (options.clock or the real one).
+  MonotonicClock* clock() const { return clock_; }
+
  private:
   void DriverLoop();
   void RunJob(JobState* job);
   ProgramCache* SharedCacheForTag(const std::string& tag);
   // Installs the warm store's artifacts for `dag` into `cache`, once per
-  // (cache, task) pair (idempotent across jobs and rounds).
-  void WarmTagCache(ProgramCache* cache, const std::shared_ptr<const ComputeDAG>& dag);
+  // (cache, task) pair (idempotent across jobs and rounds). Records a
+  // "warm_start" span with the install count when `tracer` is live.
+  void WarmTagCache(ProgramCache* cache, const std::shared_ptr<const ComputeDAG>& dag,
+                    const Tracer* tracer = nullptr);
 
   TuningServiceOptions options_;
   ThreadPool workers_;
@@ -232,6 +279,12 @@ class TuningService {
   std::atomic<int64_t> next_job_id_{1};
   bool shutdown_ = false;
   std::vector<std::thread> drivers_;
+  // Telemetry: the single clock, the owned-or-borrowed trace sink, and the
+  // fleet metrics registry (internally synchronized; no mu_ needed).
+  MonotonicClock* clock_;
+  std::unique_ptr<TraceSink> owned_sink_;
+  TraceSink* sink_ = nullptr;
+  MetricsRegistry metrics_;
 };
 
 }  // namespace ansor

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/ir/state.h"
+#include "src/telemetry/metrics.h"
 
 namespace ansor {
 
@@ -133,6 +134,10 @@ class RecordStore {
 
   RecordStoreStats stats() const;
   RecordClientStats ClientStatsFor(uint64_t client_id) const;
+
+  // Mirrors the current counters into `registry` as gauges named
+  // <prefix>.appended / .deduplicated / .improved / .size.
+  void ExportMetrics(MetricsRegistry* registry, const std::string& prefix) const;
 
   // --- Persistence -----------------------------------------------------------
 

@@ -1,0 +1,25 @@
+#include "src/telemetry/clock.h"
+
+#include <chrono>
+
+namespace ansor {
+
+namespace {
+
+class SteadyClock final : public MonotonicClock {
+ public:
+  int64_t NowNanos() override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace
+
+MonotonicClock* MonotonicClock::Real() {
+  static SteadyClock clock;
+  return &clock;
+}
+
+}  // namespace ansor

@@ -1,0 +1,62 @@
+// The fleet's single monotonic time source.
+//
+// Every timing the telemetry layer records — JobReport queue/run/turnaround,
+// per-phase attribution, trace span durations — is derived from ONE
+// MonotonicClock injected through TuningServiceOptions::clock, instead of
+// ad-hoc std::chrono::steady_clock reads scattered through the call sites.
+// That makes the derived quantities mutually consistent by construction
+// (queue + run == turnaround exactly, because all three come from the same
+// three readings) and makes the whole timing surface fake-clock testable.
+#ifndef ANSOR_SRC_TELEMETRY_CLOCK_H_
+#define ANSOR_SRC_TELEMETRY_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace ansor {
+
+class MonotonicClock {
+ public:
+  virtual ~MonotonicClock() = default;
+
+  // Nanoseconds since an arbitrary but fixed origin. Monotonic: never
+  // decreases across calls, from any thread.
+  virtual int64_t NowNanos() = 0;
+
+  double NowSeconds() { return static_cast<double>(NowNanos()) * 1e-9; }
+
+  // The process-wide steady_clock-backed instance (never null).
+  static MonotonicClock* Real();
+  // `clock` if non-null, else Real() — the injection idiom.
+  static MonotonicClock* OrReal(MonotonicClock* clock) {
+    return clock != nullptr ? clock : Real();
+  }
+};
+
+inline double SecondsBetween(int64_t start_nanos, int64_t end_nanos) {
+  return static_cast<double>(end_nanos - start_nanos) * 1e-9;
+}
+
+// Deterministic clock for tests: returns a programmed value, optionally
+// auto-advancing by a fixed step per reading so successive readings are
+// strictly ordered without any real time passing. Thread-safe.
+class FakeClock : public MonotonicClock {
+ public:
+  explicit FakeClock(int64_t start_nanos = 0, int64_t step_nanos = 0)
+      : now_(start_nanos), step_(step_nanos) {}
+
+  int64_t NowNanos() override { return now_.fetch_add(step_); }
+
+  void AdvanceNanos(int64_t delta) { now_.fetch_add(delta); }
+  void AdvanceSeconds(double seconds) {
+    AdvanceNanos(static_cast<int64_t>(seconds * 1e9));
+  }
+
+ private:
+  std::atomic<int64_t> now_;
+  const int64_t step_;
+};
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_TELEMETRY_CLOCK_H_

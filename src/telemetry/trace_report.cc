@@ -1,0 +1,132 @@
+#include "src/telemetry/trace_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace ansor {
+
+namespace {
+
+void Accumulate(std::map<std::string, PhaseTotal>* phases, const TraceEvent& e) {
+  PhaseTotal& p = (*phases)[e.name];
+  p.name = e.name;
+  p.count += 1;
+  p.seconds += e.duration_seconds();
+}
+
+std::vector<PhaseTotal> SortedBySeconds(const std::map<std::string, PhaseTotal>& phases) {
+  std::vector<PhaseTotal> out;
+  out.reserve(phases.size());
+  for (const auto& kv : phases) out.push_back(kv.second);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const PhaseTotal& a, const PhaseTotal& b) {
+                     return a.seconds > b.seconds;
+                   });
+  return out;
+}
+
+}  // namespace
+
+TraceReport FoldEvents(const std::vector<TraceEvent>& events) {
+  TraceReport report;
+  report.total_events = events.size();
+
+  std::map<std::string, PhaseTotal> global_phases;
+  struct JobAccum {
+    std::map<std::string, PhaseTotal> phases;
+    std::map<int64_t, double> task_seconds;
+    double turnaround = 0.0;
+    double direct_children = 0.0;
+    uint64_t root_span = 0;
+  };
+  std::map<int64_t, JobAccum> jobs;
+  std::unordered_map<uint64_t, const TraceEvent*> by_span;
+  for (const TraceEvent& e : events) by_span.emplace(e.span_id, &e);
+
+  for (const TraceEvent& e : events) {
+    Accumulate(&global_phases, e);
+    if (e.job < 0) continue;
+    JobAccum& job = jobs[e.job];
+    Accumulate(&job.phases, e);
+    if (e.task >= 0) job.task_seconds[e.task] += e.duration_seconds();
+    if (e.name == "job") {
+      job.turnaround = e.duration_seconds();
+      job.root_span = e.span_id;
+    }
+  }
+  // Direct children of each job's root span partition its wall time.
+  for (const TraceEvent& e : events) {
+    if (e.job < 0 || e.parent_id == 0) continue;
+    auto it = jobs.find(e.job);
+    if (it == jobs.end() || it->second.root_span == 0) continue;
+    if (e.parent_id == it->second.root_span) {
+      it->second.direct_children += e.duration_seconds();
+    }
+  }
+
+  report.phases = SortedBySeconds(global_phases);
+  for (const auto& kv : jobs) {
+    JobAttribution job;
+    job.job = kv.first;
+    job.turnaround_seconds = kv.second.turnaround;
+    job.direct_child_seconds = kv.second.direct_children;
+    job.phases = SortedBySeconds(kv.second.phases);
+    for (const auto& ts : kv.second.task_seconds) job.task_seconds.push_back(ts);
+    report.jobs.push_back(std::move(job));
+  }
+  return report;
+}
+
+std::string RenderReport(const TraceReport& report) {
+  std::ostringstream out;
+  char line[256];
+
+  out << "trace report: " << report.total_events << " spans, "
+      << report.jobs.size() << " jobs\n\n";
+
+  out << "per-phase totals (inclusive)\n";
+  std::snprintf(line, sizeof(line), "  %-22s %8s %12s %12s\n", "phase", "count",
+                "total (s)", "mean (ms)");
+  out << line;
+  for (const PhaseTotal& p : report.phases) {
+    double mean_ms = p.count > 0 ? p.seconds * 1e3 / static_cast<double>(p.count) : 0.0;
+    std::snprintf(line, sizeof(line), "  %-22s %8lld %12.4f %12.4f\n",
+                  p.name.c_str(), static_cast<long long>(p.count), p.seconds,
+                  mean_ms);
+    out << line;
+  }
+
+  for (const JobAttribution& job : report.jobs) {
+    std::snprintf(line, sizeof(line),
+                  "\njob %lld: turnaround %.4f s, direct phases %.4f s (%.1f%%)\n",
+                  static_cast<long long>(job.job), job.turnaround_seconds,
+                  job.direct_child_seconds,
+                  job.turnaround_seconds > 0.0
+                      ? 100.0 * job.direct_child_seconds / job.turnaround_seconds
+                      : 0.0);
+    out << line;
+    for (const PhaseTotal& p : job.phases) {
+      double pct = job.turnaround_seconds > 0.0
+                       ? 100.0 * p.seconds / job.turnaround_seconds
+                       : 0.0;
+      std::snprintf(line, sizeof(line), "  %-22s %8lld %12.4f %10.1f%%\n",
+                    p.name.c_str(), static_cast<long long>(p.count), p.seconds,
+                    pct);
+      out << line;
+    }
+    if (!job.task_seconds.empty()) {
+      out << "  per-task inclusive seconds:\n";
+      for (const auto& ts : job.task_seconds) {
+        std::snprintf(line, sizeof(line), "    task %lld: %.4f s\n",
+                      static_cast<long long>(ts.first), ts.second);
+        out << line;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace ansor

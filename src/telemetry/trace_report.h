@@ -1,0 +1,48 @@
+// Folds a span trace into per-phase / per-task / per-job time attribution.
+//
+// This is the library half of tools/trace_report: given the events parsed
+// back from a trace JSONL (TraceSink::LoadFromFile), FoldEvents aggregates
+// inclusive span durations by phase name, per job and per task, and
+// RenderReport formats the result as the text summary the CLI prints.
+// The same fold feeds the golden trace-shape tests.
+#ifndef ANSOR_SRC_TELEMETRY_TRACE_REPORT_H_
+#define ANSOR_SRC_TELEMETRY_TRACE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/trace.h"
+
+namespace ansor {
+
+struct PhaseTotal {
+  std::string name;
+  int64_t count = 0;
+  double seconds = 0.0;  // inclusive (spans nest; children are inside parents)
+};
+
+struct JobAttribution {
+  int64_t job = -1;
+  double turnaround_seconds = 0.0;  // duration of the job's root "job" span
+  // Sum of the job span's DIRECT children — this is the partition of the
+  // job's wall time into phases, and should match turnaround up to the
+  // slack between spans.
+  double direct_child_seconds = 0.0;
+  std::vector<PhaseTotal> phases;                       // by span name
+  std::vector<std::pair<int64_t, double>> task_seconds;  // task id -> inclusive s
+};
+
+struct TraceReport {
+  size_t total_events = 0;
+  std::vector<PhaseTotal> phases;  // global, sorted by total seconds desc
+  std::vector<JobAttribution> jobs;  // sorted by job id
+};
+
+TraceReport FoldEvents(const std::vector<TraceEvent>& events);
+
+std::string RenderReport(const TraceReport& report);
+
+}  // namespace ansor
+
+#endif  // ANSOR_SRC_TELEMETRY_TRACE_REPORT_H_

@@ -1,0 +1,276 @@
+// Telemetry core tests: histogram bucket/quantile correctness, lock-cheap
+// registry behavior under concurrent writers (the tsan target), span
+// parent/child nesting, and the JSONL trace round trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/telemetry/clock.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+#include "src/telemetry/trace_report.h"
+
+namespace ansor {
+namespace {
+
+TEST(TelemetryHistogram, BucketIndexCoversPowersOfTwo) {
+  // Bucket kBias covers [1, 2): the anchor the whole layout derives from.
+  EXPECT_EQ(Histogram::BucketIndex(1.0), Histogram::kBias);
+  EXPECT_EQ(Histogram::BucketIndex(1.999), Histogram::kBias);
+  EXPECT_EQ(Histogram::BucketIndex(2.0), Histogram::kBias + 1);
+  EXPECT_EQ(Histogram::BucketIndex(0.5), Histogram::kBias - 1);
+  // Nonpositive values land in bucket 0 by contract.
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(-3.5), 0);
+  // Every bucket's lower bound maps back to its own index.
+  for (int b = 8; b < Histogram::kBuckets - 1; ++b) {
+    double lo = Histogram::BucketLowerBound(b);
+    EXPECT_EQ(Histogram::BucketIndex(lo), b) << "bucket " << b << " lo " << lo;
+  }
+}
+
+TEST(TelemetryHistogram, ExactAggregatesAndBucketResolutionQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) {
+    values.push_back(static_cast<double>(i));  // 1..100
+    h.Observe(values.back());
+  }
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+
+  // Power-of-two buckets: quantile estimates carry at most one octave of
+  // relative error around the true order statistic.
+  double p50 = h.Quantile(0.50);
+  EXPECT_GE(p50, 32.0);
+  EXPECT_LE(p50, 64.0);
+  double p95 = h.Quantile(0.95);
+  EXPECT_GE(p95, 64.0);
+  EXPECT_LE(p95, 100.0);  // clamped to the exact max
+  EXPECT_LE(h.Quantile(0.99), 100.0);
+  // q=0 -> rank 1 lands in the min's bucket [1, 2).
+  EXPECT_GE(h.Quantile(0.0), 1.0);
+  EXPECT_LE(h.Quantile(0.0), 2.0);
+}
+
+TEST(TelemetryHistogram, QuantileClampsToExactMinMax) {
+  Histogram h;
+  h.Observe(3.7);
+  h.Observe(3.9);
+  // Both land in [2, 4); the geometric midpoint would be sqrt(8) = 2.83,
+  // below the true min — the clamp keeps estimates inside [min, max].
+  EXPECT_GE(h.Quantile(0.5), 3.7);
+  EXPECT_LE(h.Quantile(0.99), 3.9);
+}
+
+TEST(TelemetryMetrics, RegistrationReturnsStablePointersAndFixedUnits) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("trials", "trials");
+  c->Add(3);
+  // Same name: same object, unit fixed at creation.
+  EXPECT_EQ(registry.counter("trials", "ignored"), c);
+  EXPECT_EQ(c->value(), 3);
+
+  registry.SetGauge("best_seconds", 0.125, "seconds");
+  EXPECT_DOUBLE_EQ(registry.gauge("best_seconds")->value(), 0.125);
+
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"trials\""), std::string::npos);
+  EXPECT_NE(json.find("\"best_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+}
+
+TEST(TelemetryMetrics, SamplesFlattenHistograms) {
+  MetricsRegistry registry;
+  registry.AddCounter("n", 7, "count");
+  Histogram* h = registry.histogram("latency", "seconds");
+  h->Observe(1.0);
+  h->Observe(2.0);
+
+  std::vector<MetricSample> samples = registry.Samples();
+  // counter + {count, mean, p50, p95, p99} for the histogram.
+  ASSERT_EQ(samples.size(), 6u);
+  EXPECT_EQ(samples[0].name, "n");
+  EXPECT_DOUBLE_EQ(samples[0].value, 7.0);
+  EXPECT_EQ(samples[1].name, "latency.count");
+  EXPECT_DOUBLE_EQ(samples[1].value, 2.0);
+  EXPECT_EQ(samples[2].name, "latency.mean");
+  EXPECT_DOUBLE_EQ(samples[2].value, 1.5);
+
+  std::string json = registry.SamplesJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"name\":\"latency.p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit\":\"seconds\""), std::string::npos);
+}
+
+TEST(TelemetryMetrics, ConcurrentCounterIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.counter("hits");
+  Histogram* hist = registry.histogram("obs");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Add(1);
+        hist->Observe(static_cast<double>(t + 1));
+        registry.gauge("last")->Set(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter->value(), kThreads * kPerThread);
+  EXPECT_EQ(hist->count(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(hist->min(), 1.0);
+  EXPECT_DOUBLE_EQ(hist->max(), static_cast<double>(kThreads));
+}
+
+TEST(TelemetryClock, FakeClockAdvancesDeterministically) {
+  FakeClock clock(1000, 10);
+  EXPECT_EQ(clock.NowNanos(), 1000);
+  EXPECT_EQ(clock.NowNanos(), 1010);
+  clock.AdvanceSeconds(1.0);
+  EXPECT_EQ(clock.NowNanos(), 1000000000 + 1020);
+  EXPECT_DOUBLE_EQ(SecondsBetween(0, 2500000000), 2.5);
+}
+
+TEST(TelemetrySpan, ParentChildNestingAndAttribution) {
+  TraceSink sink;
+  FakeClock clock(0, 1000);
+  Tracer tracer(&sink, &clock);
+
+  uint64_t outer_id = 0;
+  {
+    TraceSpan outer(tracer.WithJob(3).WithTask(1), "round", "service");
+    ASSERT_TRUE(outer.enabled());
+    outer_id = outer.id();
+    outer.Arg("count", static_cast<int64_t>(4));
+    TraceSpan inner(outer.child().WithRound(2), "evolution", "search");
+    EXPECT_NE(inner.id(), outer_id);
+  }
+  std::vector<TraceEvent> events = sink.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner finishes first (RAII order).
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_EQ(inner.name, "evolution");
+  EXPECT_EQ(inner.parent_id, outer_id);
+  EXPECT_EQ(inner.job, 3);
+  EXPECT_EQ(inner.task, 1);
+  EXPECT_EQ(inner.round, 2);
+  EXPECT_EQ(outer.name, "round");
+  EXPECT_EQ(outer.parent_id, 0u);  // root
+  EXPECT_EQ(outer.round, -1);
+  EXPECT_GE(outer.end_nanos, outer.start_nanos);
+  // The outer span's window covers the inner's.
+  EXPECT_LE(outer.start_nanos, inner.start_nanos);
+  ASSERT_EQ(outer.args.size(), 1u);
+  EXPECT_EQ(outer.args[0].first, "count");
+}
+
+TEST(TelemetrySpan, DisabledTracerRecordsNothing) {
+  Tracer disabled;
+  EXPECT_FALSE(disabled.enabled());
+  TraceSpan span(disabled, "evolution", "search");
+  EXPECT_FALSE(span.enabled());
+  span.Arg("ignored", static_cast<int64_t>(1));
+  Tracer child = span.child();
+  EXPECT_FALSE(child.enabled());
+  TraceSpan null_ptr_span(static_cast<const Tracer*>(nullptr), "x", "y");
+  EXPECT_FALSE(null_ptr_span.enabled());
+}
+
+TEST(TelemetrySpan, JsonlRoundTripPreservesKnownFields) {
+  TraceSink sink;
+  FakeClock clock(5000, 250);
+  Tracer tracer(&sink, &clock);
+  {
+    TraceSpan span(tracer.WithJob(2).WithTask(0).WithRound(1), "measure_trial",
+                   "measure");
+    span.Arg("outcome", std::string("valid"));
+    span.Arg("queue_seconds", 0.25);
+    span.Arg("count", static_cast<int64_t>(6));
+  }
+  std::string jsonl = sink.ToJsonl();
+  std::vector<TraceEvent> parsed;
+  ASSERT_TRUE(TraceSink::ParseJsonl(jsonl, &parsed));
+  ASSERT_EQ(parsed.size(), 1u);
+  std::vector<TraceEvent> recorded = sink.Snapshot();
+  ASSERT_EQ(recorded.size(), 1u);
+  const TraceEvent& original = recorded[0];
+  const TraceEvent& back = parsed[0];
+  EXPECT_EQ(back.name, original.name);
+  EXPECT_EQ(back.category, original.category);
+  EXPECT_EQ(back.span_id, original.span_id);
+  EXPECT_EQ(back.parent_id, original.parent_id);
+  EXPECT_EQ(back.job, 2);
+  EXPECT_EQ(back.task, 0);
+  EXPECT_EQ(back.round, 1);
+  // Microsecond timestamp precision survives the round trip (the fake clock
+  // ticks in multiples of 250 ns -> sub-us truncation stays under 1 us).
+  EXPECT_NEAR(back.duration_seconds(), original.duration_seconds(), 1e-6);
+  bool saw_outcome = false;
+  for (const auto& [key, value] : back.args) {
+    if (key == "outcome") {
+      saw_outcome = true;
+      EXPECT_EQ(value, "valid");  // the parser strips the JSON quotes
+    }
+  }
+  EXPECT_TRUE(saw_outcome);
+}
+
+TEST(TelemetryTraceReport, FoldsPhasesAndJobAttribution) {
+  TraceSink sink;
+  auto add = [&](const char* name, uint64_t id, uint64_t parent, int64_t job,
+                 int64_t task, int64_t start_us, int64_t end_us) {
+    TraceEvent e;
+    e.name = name;
+    e.category = "test";
+    e.span_id = id;
+    e.parent_id = parent;
+    e.job = job;
+    e.task = task;
+    e.start_nanos = start_us * 1000;
+    e.end_nanos = end_us * 1000;
+    sink.Record(e);
+  };
+  // job 1: a 100us job with two direct 40us rounds; one round holds a
+  // nested 10us evolution (inclusive: must NOT double-count into the
+  // direct-children sum).
+  add("job", 1, 0, 1, -1, 0, 100);
+  add("round", 2, 1, 1, 0, 0, 40);
+  add("round", 3, 1, 1, 1, 50, 90);
+  add("evolution", 4, 3, 1, 1, 55, 65);
+
+  TraceReport report = FoldEvents(sink.Snapshot());
+  EXPECT_EQ(report.total_events, 4u);
+  ASSERT_EQ(report.jobs.size(), 1u);
+  const JobAttribution& job = report.jobs[0];
+  EXPECT_EQ(job.job, 1);
+  EXPECT_NEAR(job.turnaround_seconds, 100e-6, 1e-12);
+  EXPECT_NEAR(job.direct_child_seconds, 80e-6, 1e-12);  // rounds only
+  ASSERT_EQ(job.task_seconds.size(), 2u);  // sorted by task id
+  EXPECT_EQ(job.task_seconds[1].first, 1);
+  EXPECT_NEAR(job.task_seconds[1].second, 50e-6, 1e-12);  // round + evolution
+
+  std::string rendered = RenderReport(report);
+  EXPECT_NE(rendered.find("job 1"), std::string::npos);
+  EXPECT_NE(rendered.find("evolution"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ansor
