@@ -25,7 +25,9 @@ struct PendingMeasureBatch::Shared {
   std::atomic<bool> cancel{false};
   std::mutex mu;
   std::condition_variable cv;
-  size_t done = 0;  // guarded by mu
+  size_t done = 0;  // guarded by mu; the Wait()/WaitFor() predicate
+  // Names the last worker without making the cv predicate true (see RunItem).
+  std::atomic<size_t> finished{0};
   // Telemetry: trial spans parent under a "measure_batch" span whose id is
   // allocated at submission and whose event is recorded by whichever worker
   // finishes the last item (submit→complete, independent of when the
@@ -49,14 +51,14 @@ struct PendingMeasureBatch::Shared {
                                          tracer.enabled() ? &tracer : nullptr,
                                          submit_nanos);
     }
-    bool last;
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      last = ++done == states.size();
-      if (last) {
-        cv.notify_all();
-      }
-    }
+    // Publication order matters: once `done` reaches the batch size, Wait()
+    // can return and the whole service (including the TraceSink) may be torn
+    // down, so the batch event must be recorded *before* this worker's ++done.
+    // `finished` picks the last worker without advancing the cv predicate;
+    // `done` only reaches the batch size after every worker — including that
+    // one — has passed its Record.
+    bool last =
+        finished.fetch_add(1, std::memory_order_acq_rel) + 1 == states.size();
     if (last && tracer.enabled()) {
       TraceEvent batch;
       batch.name = "measure_batch";
@@ -70,6 +72,12 @@ struct PendingMeasureBatch::Shared {
       batch.end_nanos = tracer.clock()->NowNanos();
       batch.args.emplace_back("count", std::to_string(states.size()));
       tracer.sink()->Record(std::move(batch));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (++done == states.size()) {
+        cv.notify_all();
+      }
     }
   }
 };

@@ -88,8 +88,8 @@ const JobReport& JobHandle::report() const {
 
 TuningService::TuningService(TuningServiceOptions options)
     : options_(std::move(options)),
-      workers_(static_cast<size_t>(std::max(0, options_.num_workers))),
-      clock_(MonotonicClock::OrReal(options_.clock)) {
+      clock_(MonotonicClock::OrReal(options_.clock)),
+      workers_(static_cast<size_t>(std::max(0, options_.num_workers))) {
   if (options_.trace_sink != nullptr) {
     sink_ = options_.trace_sink;
   } else if (!options_.trace_path.empty()) {

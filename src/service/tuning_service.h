@@ -264,6 +264,14 @@ class TuningService {
                     const Tracer* tracer = nullptr);
 
   TuningServiceOptions options_;
+  // Telemetry: the single clock, the owned-or-borrowed trace sink, and the
+  // fleet metrics registry (internally synchronized; no mu_ needed). Declared
+  // before workers_ so they outlive the pool: ~ThreadPool joins every worker
+  // thread before the sink/clock a lagging trace Record might touch die.
+  MonotonicClock* clock_;
+  std::unique_ptr<TraceSink> owned_sink_;
+  TraceSink* sink_ = nullptr;
+  MetricsRegistry metrics_;
   ThreadPool workers_;
   mutable std::mutex mu_;  // queue, job list, tag caches, shutdown flag
   std::condition_variable cv_;
@@ -279,12 +287,6 @@ class TuningService {
   std::atomic<int64_t> next_job_id_{1};
   bool shutdown_ = false;
   std::vector<std::thread> drivers_;
-  // Telemetry: the single clock, the owned-or-borrowed trace sink, and the
-  // fleet metrics registry (internally synchronized; no mu_ needed).
-  MonotonicClock* clock_;
-  std::unique_ptr<TraceSink> owned_sink_;
-  TraceSink* sink_ = nullptr;
-  MetricsRegistry metrics_;
 };
 
 }  // namespace ansor

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/support/logging.h"
+
 namespace ansor {
 
 namespace {
@@ -14,7 +16,9 @@ namespace {
 // trailing ".0" noise, non-finite values mapped to 0 (JSON has no inf/nan).
 std::string JsonNumber(double v) {
   if (!std::isfinite(v)) return "0";
-  if (v == static_cast<int64_t>(v) && std::fabs(v) < 1e15) {
+  // Range check first: double->int64 conversion of a value outside int64's
+  // range is UB, so the cast may only run once fabs(v) admits it.
+  if (std::fabs(v) < 1e15 && v == static_cast<int64_t>(v)) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
     return buf;
@@ -31,8 +35,17 @@ std::string JsonString(const std::string& s) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
-      default: out += c;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   out += '"';
@@ -127,7 +140,13 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(Kind kind,
                                                       const std::string& unit) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = by_name_.find(name);
-  if (it != by_name_.end()) return it->second;
+  if (it != by_name_.end()) {
+    // Fail loudly on a kind collision; returning the existing entry would
+    // hand the convenience wrappers a nullptr to dereference.
+    CHECK(it->second->kind == kind)
+        << "metric '" << name << "' already registered with a different kind";
+    return it->second;
+  }
   auto entry = std::make_unique<Entry>();
   entry->kind = kind;
   entry->name = name;

@@ -18,8 +18,17 @@ std::string JsonString(const std::string& s) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
-      default: out += c;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   out += '"';
@@ -51,7 +60,15 @@ std::string RawField(const std::string& line, const std::string& key) {
         char n = line[++i];
         switch (n) {
           case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
           case 't': out += '\t'; break;
+          case 'u':
+            if (i + 4 < line.size()) {
+              out += static_cast<char>(
+                  std::strtol(line.substr(i + 1, 4).c_str(), nullptr, 16));
+              i += 4;
+            }
+            break;
           default: out += n;
         }
       } else if (c == '"') {

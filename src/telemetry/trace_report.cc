@@ -4,7 +4,6 @@
 #include <cstdio>
 #include <map>
 #include <sstream>
-#include <unordered_map>
 
 namespace ansor {
 
@@ -43,8 +42,6 @@ TraceReport FoldEvents(const std::vector<TraceEvent>& events) {
     uint64_t root_span = 0;
   };
   std::map<int64_t, JobAccum> jobs;
-  std::unordered_map<uint64_t, const TraceEvent*> by_span;
-  for (const TraceEvent& e : events) by_span.emplace(e.span_id, &e);
 
   for (const TraceEvent& e : events) {
     Accumulate(&global_phases, e);

@@ -3,6 +3,7 @@
 // parent/child nesting, and the JSONL trace round trip.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <thread>
@@ -228,6 +229,39 @@ TEST(TelemetrySpan, JsonlRoundTripPreservesKnownFields) {
     if (key == "outcome") {
       saw_outcome = true;
       EXPECT_EQ(value, "valid");  // the parser strips the JSON quotes
+    }
+  }
+  EXPECT_TRUE(saw_outcome);
+}
+
+TEST(TelemetrySpan, JsonlEscapesControlCharactersInArgs) {
+  // Caller-provided strings reach the trace (e.g. JobSpec::name via
+  // span.Arg("name", ...)); control characters in them must not break the
+  // one-event-per-line JSONL framing or produce invalid JSON.
+  TraceSink sink;
+  FakeClock clock(1000, 100);
+  Tracer tracer(&sink, &clock);
+  const std::string hostile = "job\rname\nwith\tctrl\x01!";
+  {
+    TraceSpan span(tracer, "job", "service");
+    span.Arg("outcome", hostile);
+  }
+  std::string jsonl = sink.ToJsonl();
+  // Exactly one line, with every control byte escaped rather than raw.
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 1);
+  EXPECT_EQ(jsonl.find('\r'), std::string::npos);
+  EXPECT_EQ(jsonl.find('\t'), std::string::npos);
+  EXPECT_EQ(jsonl.find('\x01'), std::string::npos);
+  EXPECT_NE(jsonl.find("\\r"), std::string::npos);
+  EXPECT_NE(jsonl.find("\\u0001"), std::string::npos);
+  std::vector<TraceEvent> parsed;
+  ASSERT_TRUE(TraceSink::ParseJsonl(jsonl, &parsed));
+  ASSERT_EQ(parsed.size(), 1u);
+  bool saw_outcome = false;
+  for (const auto& [key, value] : parsed[0].args) {
+    if (key == "outcome") {
+      saw_outcome = true;
+      EXPECT_EQ(value, hostile);  // the escapes decode back to the original
     }
   }
   EXPECT_TRUE(saw_outcome);
